@@ -1,0 +1,34 @@
+//! The VideoPipe applications: everything §4 of the paper describes.
+//!
+//! * [`services`] — the stateless container services (pose detection,
+//!   activity classification, rep counting, display, object/face detection,
+//!   image classification) wrapping the `videopipe-ml` kernels.
+//! * [`modules`] — the pipeline modules (video streaming, pose detection,
+//!   activity recognition, rep counter, display, IoT actuator, fall alert).
+//! * [`fitness`] — the workout guidance pipeline of Fig. 4, with both the
+//!   VideoPipe placement (modules co-located with their services) and the
+//!   EdgeEye-style baseline of Fig. 5 (all modules on the phone, remote
+//!   service calls).
+//! * [`gesture`] — the gesture-controlled IoT pipeline of §4.2.
+//! * [`fall`] — the fall detection pipeline of §4.3.
+//! * [`iot`] — the simulated smart-home devices (light, doorbell) the
+//!   gesture app controls.
+//! * [`retail`] — a cashierless-checkout pipeline (the paper's §1 retail
+//!   motivation) exercising the object detector and IoU tracker.
+//! * [`training`] — synthetic training and accuracy evaluation for the
+//!   learned services (§4.1.2's >90% and §4.1.3's 83.3% claims).
+//! * [`experiments`] — one-call experiment runners used by the benchmark
+//!   harness (Fig. 6, Table 2 and the ablations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fall;
+pub mod fitness;
+pub mod gesture;
+pub mod iot;
+pub mod modules;
+pub mod retail;
+pub mod services;
+pub mod training;

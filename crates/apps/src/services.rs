@@ -1,0 +1,640 @@
+//! The stateless container services.
+//!
+//! Each service wraps a `videopipe-ml` kernel behind the
+//! [`Service`] trait. All of them take
+//! their inputs from the request (or the device-local frame store, for
+//! frame references) and keep no mutable state, so they can be shared
+//! across pipelines and scaled horizontally (paper §2.2).
+
+use std::time::Duration;
+use videopipe_core::message::Payload;
+use videopipe_core::service::{
+    wrong_payload, Service, ServiceCost, ServiceRequest, ServiceResponse,
+};
+use videopipe_core::PipelineError;
+use videopipe_media::{FrameStore, Pose};
+use videopipe_ml::activity::ActivityModel;
+use videopipe_ml::classify::ImageClassifier;
+use videopipe_ml::faces::FaceDetector;
+use videopipe_ml::objects::ObjectDetector;
+use videopipe_ml::pose::PoseDetector;
+use videopipe_ml::reps::RepCounterModel;
+
+fn service_err(service: &str, reason: impl Into<String>) -> PipelineError {
+    PipelineError::Service {
+        service: service.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// `pose_detector` — the 2D pose detection service (§4.1.1).
+///
+/// Request: `detect` with a [`Payload::FrameRef`].
+/// Response: [`Payload::Pose`] (pose + score), or [`Payload::Empty`] when
+/// no person is detected.
+#[derive(Debug, Default)]
+pub struct PoseDetectorService {
+    detector: PoseDetector,
+}
+
+impl PoseDetectorService {
+    /// Canonical service name.
+    pub const NAME: &'static str = "pose_detector";
+
+    /// Creates the service with the default detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Service for PoseDetectorService {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let Payload::FrameRef(id) = request.payload else {
+            return Err(wrong_payload(Self::NAME, "frame_ref", &request.payload));
+        };
+        let frame = store.get(id)?;
+        Ok(match self.detector.detect(&frame) {
+            Some(detected) => ServiceResponse::new(Payload::Pose {
+                pose: detected.pose,
+                score: detected.score,
+            }),
+            None => ServiceResponse::new(Payload::Empty),
+        })
+    }
+
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        // Reference-device cost; the calibrated profile matches this.
+        ServiceCost::flat(Duration::from_millis(106))
+    }
+}
+
+/// `activity_classifier` / `gesture_classifier` — k-NN over pose windows
+/// (§4.1.2).
+///
+/// Request: `classify` with [`Payload::Poses`] (a full window) or
+/// [`Payload::Vector`] (pre-extracted features).
+/// Response: [`Payload::Label`].
+#[derive(Debug)]
+pub struct ActivityClassifierService {
+    name: String,
+    model: ActivityModel,
+}
+
+impl ActivityClassifierService {
+    /// Canonical name of the fitness-app instance.
+    pub const NAME: &'static str = "activity_classifier";
+
+    /// Creates the service under a custom name (the gesture app deploys its
+    /// own instance as `gesture_classifier`).
+    pub fn with_name(name: impl Into<String>, model: ActivityModel) -> Self {
+        ActivityClassifierService {
+            name: name.into(),
+            model,
+        }
+    }
+
+    /// Creates the fitness-app instance.
+    pub fn new(model: ActivityModel) -> Self {
+        Self::with_name(Self::NAME, model)
+    }
+}
+
+impl Service for ActivityClassifierService {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let label = match &request.payload {
+            Payload::Poses(window) => self.model.classify_window(window).ok_or_else(|| {
+                service_err(&self.name, format!("window must have 15 poses, got {}", window.len()))
+            })?,
+            Payload::Vector(features) => self
+                .model
+                .classify_features(features)
+                .map_err(|e| service_err(&self.name, e.to_string()))?
+                .to_string(),
+            other => return Err(wrong_payload(&self.name, "poses or vector", other)),
+        };
+        Ok(ServiceResponse::new(Payload::Label {
+            label,
+            confidence: 1.0,
+        }))
+    }
+
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        ServiceCost::flat(Duration::from_millis(9))
+    }
+}
+
+/// Encodes a [`RepCounterModel`] as a payload: a matrix whose first two
+/// rows are the centroids and whose third row is `[initial_cluster]`.
+pub fn rep_model_to_payload(model: &RepCounterModel) -> Payload {
+    let mut rows = model.centroids().to_vec();
+    rows.push(vec![model.initial_cluster() as f32]);
+    Payload::Matrix(rows)
+}
+
+/// Decodes a [`RepCounterModel`] from [`rep_model_to_payload`]'s encoding.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::BadPayload`] when the matrix shape is wrong.
+pub fn rep_model_from_payload(payload: &Payload) -> Result<RepCounterModel, PipelineError> {
+    let Payload::Matrix(rows) = payload else {
+        return Err(PipelineError::BadPayload("rep model must be a matrix"));
+    };
+    if rows.len() != 3 || rows[2].len() != 1 {
+        return Err(PipelineError::BadPayload(
+            "rep model needs 2 centroids + initial row",
+        ));
+    }
+    let initial = rows[2][0] as usize;
+    if initial > 1 || rows[0].len() != rows[1].len() || rows[0].is_empty() {
+        return Err(PipelineError::BadPayload("rep model rows inconsistent"));
+    }
+    Ok(RepCounterModel::from_parts(
+        vec![rows[0].clone(), rows[1].clone()],
+        initial,
+    ))
+}
+
+/// Builds the `classify` request: model rows plus the flattened pose as a
+/// fourth row.
+pub fn rep_classify_request(model: &RepCounterModel, pose: &Pose) -> ServiceRequest {
+    let mut rows = model.centroids().to_vec();
+    rows.push(vec![model.initial_cluster() as f32]);
+    rows.push(pose.flatten());
+    ServiceRequest::new("classify", Payload::Matrix(rows))
+}
+
+/// `rep_counter` — the k-means rep counting service (§4.1.3).
+///
+/// Stateless by design: the *model* travels in the request.
+///
+/// * op `fit`: [`Payload::Poses`] (a calibration window starting at the
+///   initial position) → the encoded model (see [`rep_model_to_payload`]).
+/// * op `classify`: model rows + flattened pose (see
+///   [`rep_classify_request`]) → [`Payload::Count`] with the cluster id.
+#[derive(Debug, Default)]
+pub struct RepCounterService;
+
+impl RepCounterService {
+    /// Canonical service name.
+    pub const NAME: &'static str = "rep_counter";
+
+    /// Creates the service.
+    pub fn new() -> Self {
+        RepCounterService
+    }
+}
+
+impl Service for RepCounterService {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        match request.op.as_str() {
+            "fit" => {
+                let Payload::Poses(calibration) = &request.payload else {
+                    return Err(wrong_payload(Self::NAME, "poses", &request.payload));
+                };
+                let model = RepCounterModel::fit(calibration)
+                    .map_err(|e| service_err(Self::NAME, e.to_string()))?;
+                Ok(ServiceResponse::new(rep_model_to_payload(&model)))
+            }
+            "classify" => {
+                let Payload::Matrix(rows) = &request.payload else {
+                    return Err(wrong_payload(Self::NAME, "matrix", &request.payload));
+                };
+                if rows.len() != 4 {
+                    return Err(service_err(
+                        Self::NAME,
+                        "classify needs 2 centroids + initial + pose rows",
+                    ));
+                }
+                let model = rep_model_from_payload(&Payload::Matrix(rows[..3].to_vec()))?;
+                let pose = Pose::from_flat(&rows[3])
+                    .ok_or(PipelineError::BadPayload("pose row has wrong length"))?;
+                let cluster = model.classify(&pose);
+                Ok(ServiceResponse::new(Payload::Count(cluster as u64)))
+            }
+            other => Err(service_err(Self::NAME, format!("unknown op {other:?}"))),
+        }
+    }
+
+    fn cost(&self, request: &ServiceRequest) -> ServiceCost {
+        match request.op.as_str() {
+            "fit" => ServiceCost::flat(Duration::from_millis(30)),
+            _ => ServiceCost::flat(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// `display` — renders overlay text for the TV (the native display service
+/// of Fig. 4).
+///
+/// Request: `render` with any payload.
+/// Response: [`Payload::Text`] describing what was drawn.
+#[derive(Debug, Default)]
+pub struct DisplayService;
+
+impl DisplayService {
+    /// Canonical service name.
+    pub const NAME: &'static str = "display";
+
+    /// Creates the service.
+    pub fn new() -> Self {
+        DisplayService
+    }
+}
+
+impl Service for DisplayService {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let text = match &request.payload {
+            Payload::Text(t) => format!("overlay[{t}]"),
+            Payload::Label { label, .. } => format!("overlay[activity={label}]"),
+            Payload::Count(n) => format!("overlay[reps={n}]"),
+            Payload::Pose { score, .. } => format!("overlay[skeleton score={score:.2}]"),
+            other => format!("overlay[{}]", other.kind_name()),
+        };
+        Ok(ServiceResponse::new(Payload::Text(text)))
+    }
+
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        ServiceCost::flat(Duration::from_millis(3))
+    }
+}
+
+/// `object_detector` — connected-component object detection.
+///
+/// Request: `detect` with a [`Payload::FrameRef`].
+/// Response: [`Payload::Boxes`].
+#[derive(Debug, Default)]
+pub struct ObjectDetectorService {
+    detector: ObjectDetector,
+}
+
+impl ObjectDetectorService {
+    /// Canonical service name.
+    pub const NAME: &'static str = "object_detector";
+
+    /// Creates the service with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Service for ObjectDetectorService {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let Payload::FrameRef(id) = request.payload else {
+            return Err(wrong_payload(Self::NAME, "frame_ref", &request.payload));
+        };
+        let frame = store.get(id)?;
+        let boxes = self
+            .detector
+            .detect(&frame)
+            .into_iter()
+            .map(|o| o.bbox)
+            .collect();
+        Ok(ServiceResponse::new(Payload::Boxes(boxes)))
+    }
+
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        ServiceCost::flat(Duration::from_millis(40))
+    }
+}
+
+/// `face_detector` — head-landmark face detection.
+///
+/// Request: `detect` with a [`Payload::FrameRef`].
+/// Response: [`Payload::Boxes`] with zero or one box.
+#[derive(Debug, Default)]
+pub struct FaceDetectorService {
+    detector: FaceDetector,
+}
+
+impl FaceDetectorService {
+    /// Canonical service name.
+    pub const NAME: &'static str = "face_detector";
+
+    /// Creates the service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Service for FaceDetectorService {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let Payload::FrameRef(id) = request.payload else {
+            return Err(wrong_payload(Self::NAME, "frame_ref", &request.payload));
+        };
+        let frame = store.get(id)?;
+        let boxes = self
+            .detector
+            .detect(&frame)
+            .map(|f| vec![f.bbox])
+            .unwrap_or_default();
+        Ok(ServiceResponse::new(Payload::Boxes(boxes)))
+    }
+
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        ServiceCost::flat(Duration::from_millis(30))
+    }
+}
+
+/// `image_classifier` — nearest-centroid whole-frame classification.
+///
+/// Request: `classify` with a [`Payload::FrameRef`].
+/// Response: [`Payload::Label`].
+#[derive(Debug)]
+pub struct ImageClassifierService {
+    classifier: ImageClassifier,
+}
+
+impl ImageClassifierService {
+    /// Canonical service name.
+    pub const NAME: &'static str = "image_classifier";
+
+    /// Creates the service from a trained classifier.
+    pub fn new(classifier: ImageClassifier) -> Self {
+        ImageClassifierService { classifier }
+    }
+}
+
+impl Service for ImageClassifierService {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let Payload::FrameRef(id) = request.payload else {
+            return Err(wrong_payload(Self::NAME, "frame_ref", &request.payload));
+        };
+        let frame = store.get(id)?;
+        let (label, dist) = self.classifier.classify(&frame);
+        Ok(ServiceResponse::new(Payload::Label {
+            label: label.to_string(),
+            confidence: 1.0 / (1.0 + dist),
+        }))
+    }
+
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        ServiceCost::flat(Duration::from_millis(25))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videopipe_media::motion::{ExerciseKind, MotionClip};
+    use videopipe_media::scene::SceneRenderer;
+    use videopipe_ml::dataset::DatasetConfig;
+    use videopipe_ml::ActivityRecognizer;
+
+    fn store_with_pose_frame() -> (FrameStore, videopipe_media::FrameId) {
+        let store = FrameStore::new();
+        let frame = SceneRenderer::new(320, 240).render(&Pose::default(), 0, 0);
+        let id = store.insert(frame);
+        (store, id)
+    }
+
+    #[test]
+    fn pose_service_detects() {
+        let (store, id) = store_with_pose_frame();
+        let svc = PoseDetectorService::new();
+        let resp = svc
+            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .unwrap();
+        match resp.payload {
+            Payload::Pose { score, .. } => assert!(score > 0.5),
+            other => panic!("expected pose, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn pose_service_rejects_wrong_payload_and_misses() {
+        let (store, _) = store_with_pose_frame();
+        let svc = PoseDetectorService::new();
+        assert!(svc
+            .handle(&ServiceRequest::new("detect", Payload::Count(1)), &store)
+            .is_err());
+        let ghost = videopipe_media::FrameId::from_u64(999);
+        assert!(svc
+            .handle(&ServiceRequest::new("detect", Payload::FrameRef(ghost)), &store)
+            .is_err());
+    }
+
+    #[test]
+    fn pose_service_empty_frame_returns_empty() {
+        let store = FrameStore::new();
+        let id = store.insert(videopipe_media::FrameBuf::new(32, 32).freeze(0, 0));
+        let svc = PoseDetectorService::new();
+        let resp = svc
+            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .unwrap();
+        assert_eq!(resp.payload, Payload::Empty);
+    }
+
+    #[test]
+    fn activity_service_classifies_window() {
+        let recognizer = ActivityRecognizer::train_synthetic(
+            &ExerciseKind::FITNESS,
+            &DatasetConfig {
+                windows_per_class: 20,
+                ..DatasetConfig::default()
+            },
+        );
+        let svc = ActivityClassifierService::new(recognizer.model().clone());
+        let clip = MotionClip::new(ExerciseKind::Squat, 2.0);
+        let window: Vec<Pose> = (0..15).map(|i| clip.pose_at(i * 66_000_000)).collect();
+        let store = FrameStore::new();
+        let resp = svc
+            .handle(
+                &ServiceRequest::new("classify", Payload::Poses(window)),
+                &store,
+            )
+            .unwrap();
+        match resp.payload {
+            Payload::Label { label, .. } => assert_eq!(label, "squat"),
+            other => panic!("expected label, got {}", other.kind_name()),
+        }
+        // Wrong window length errors.
+        assert!(svc
+            .handle(
+                &ServiceRequest::new("classify", Payload::Poses(vec![Pose::default(); 3])),
+                &store
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn rep_model_payload_roundtrip() {
+        let clip = MotionClip::new(ExerciseKind::Squat, 2.0);
+        let poses: Vec<Pose> = (0..30).map(|i| clip.pose_at(i * 66_000_000)).collect();
+        let model = RepCounterModel::fit(&poses).unwrap();
+        let payload = rep_model_to_payload(&model);
+        let back = rep_model_from_payload(&payload).unwrap();
+        assert_eq!(back, model);
+        assert!(rep_model_from_payload(&Payload::Count(1)).is_err());
+        assert!(rep_model_from_payload(&Payload::Matrix(vec![vec![1.0]])).is_err());
+    }
+
+    #[test]
+    fn rep_service_fit_then_classify() {
+        let svc = RepCounterService::new();
+        let store = FrameStore::new();
+        let clip = MotionClip::new(ExerciseKind::Squat, 2.0);
+        let calibration: Vec<Pose> = (0..30).map(|i| clip.pose_at(i * 66_000_000)).collect();
+        let fit = svc
+            .handle(
+                &ServiceRequest::new("fit", Payload::Poses(calibration.clone())),
+                &store,
+            )
+            .unwrap();
+        let model = rep_model_from_payload(&fit.payload).unwrap();
+        // Standing (phase 0) should classify as the initial cluster.
+        let resp = svc
+            .handle(&rep_classify_request(&model, &calibration[0]), &store)
+            .unwrap();
+        assert_eq!(resp.payload, Payload::Count(model.initial_cluster() as u64));
+        // Bottom of the squat is the other cluster.
+        let resp = svc
+            .handle(&rep_classify_request(&model, &calibration[15]), &store)
+            .unwrap();
+        assert_ne!(resp.payload, Payload::Count(model.initial_cluster() as u64));
+        // Unknown op errors.
+        assert!(svc
+            .handle(&ServiceRequest::new("bogus", Payload::Empty), &store)
+            .is_err());
+    }
+
+    #[test]
+    fn display_service_renders_payload_kinds() {
+        let svc = DisplayService::new();
+        let store = FrameStore::new();
+        for (payload, needle) in [
+            (
+                Payload::Label {
+                    label: "squat".into(),
+                    confidence: 1.0,
+                },
+                "activity=squat",
+            ),
+            (Payload::Count(7), "reps=7"),
+            (Payload::Text("hi".into()), "hi"),
+        ] {
+            let resp = svc
+                .handle(&ServiceRequest::new("render", payload), &store)
+                .unwrap();
+            match resp.payload {
+                Payload::Text(t) => assert!(t.contains(needle), "{t}"),
+                other => panic!("expected text, got {}", other.kind_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn object_and_face_services() {
+        use videopipe_media::scene::SceneObject;
+        let store = FrameStore::new();
+        let frame = SceneRenderer::new(320, 240).render_scene(
+            &Pose::default(),
+            &[SceneObject::Rect {
+                x: 0.05,
+                y: 0.05,
+                w: 0.15,
+                h: 0.1,
+                intensity: 250,
+            }],
+            0,
+            0,
+        );
+        let id = store.insert(frame);
+        let objs = ObjectDetectorService::new()
+            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .unwrap();
+        match objs.payload {
+            Payload::Boxes(b) => assert_eq!(b.len(), 1),
+            other => panic!("expected boxes, got {}", other.kind_name()),
+        }
+        let faces = FaceDetectorService::new()
+            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .unwrap();
+        match faces.payload {
+            Payload::Boxes(b) => assert_eq!(b.len(), 1),
+            other => panic!("expected boxes, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn image_classifier_service() {
+        let renderer = SceneRenderer::new(160, 120);
+        let standing = renderer.render(&ExerciseKind::Idle.pose_at_phase(0.0), 0, 0);
+        let plank = renderer.render(&ExerciseKind::Pushup.pose_at_phase(0.0), 0, 0);
+        let clf = ImageClassifier::train([(&standing, "standing"), (&plank, "plank")]).unwrap();
+        let svc = ImageClassifierService::new(clf);
+        let store = FrameStore::new();
+        let id = store.insert(renderer.render(&ExerciseKind::Idle.pose_at_phase(0.3), 0, 0));
+        let resp = svc
+            .handle(&ServiceRequest::new("classify", Payload::FrameRef(id)), &store)
+            .unwrap();
+        match resp.payload {
+            Payload::Label { label, .. } => assert_eq!(label, "standing"),
+            other => panic!("expected label, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn costs_are_ordered_pose_heaviest() {
+        let store_req = ServiceRequest::new("x", Payload::Empty);
+        let pose = PoseDetectorService::new().cost(&store_req).base;
+        assert!(pose > ObjectDetectorService::new().cost(&store_req).base);
+        assert!(pose > DisplayService::new().cost(&store_req).base);
+    }
+}

@@ -1,0 +1,147 @@
+use std::error::Error;
+use std::fmt;
+use videopipe_media::MediaError;
+use videopipe_net::NetError;
+
+/// Errors produced by the VideoPipe core.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A pipeline configuration file failed to parse.
+    Config {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A pipeline spec failed validation.
+    Validation(String),
+    /// Deployment planning failed (placement, capability or wiring error).
+    Deploy(String),
+    /// A module referenced a service that is not reachable from its device.
+    ServiceUnavailable {
+        /// The calling module.
+        module: String,
+        /// The missing service.
+        service: String,
+    },
+    /// A service rejected or failed a request.
+    Service {
+        /// Service name.
+        service: String,
+        /// Failure description.
+        reason: String,
+    },
+    /// A module handler failed.
+    Module {
+        /// Module name.
+        module: String,
+        /// Failure description.
+        reason: String,
+    },
+    /// Payload decode failure.
+    BadPayload(&'static str),
+    /// Transport failure.
+    Net(NetError),
+    /// Media failure (frame store, codec).
+    Media(MediaError),
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Config { line, reason } => {
+                write!(f, "config parse error at line {line}: {reason}")
+            }
+            PipelineError::Validation(reason) => write!(f, "invalid pipeline: {reason}"),
+            PipelineError::Deploy(reason) => write!(f, "deployment failed: {reason}"),
+            PipelineError::ServiceUnavailable { module, service } => {
+                write!(f, "module {module:?} cannot reach service {service:?}")
+            }
+            PipelineError::Service { service, reason } => {
+                write!(f, "service {service:?} failed: {reason}")
+            }
+            PipelineError::Module { module, reason } => {
+                write!(f, "module {module:?} failed: {reason}")
+            }
+            PipelineError::BadPayload(reason) => write!(f, "bad payload: {reason}"),
+            PipelineError::Net(e) => write!(f, "transport error: {e}"),
+            PipelineError::Media(e) => write!(f, "media error: {e}"),
+            PipelineError::Shutdown => write!(f, "runtime is shutting down"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Net(e) => Some(e),
+            PipelineError::Media(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for PipelineError {
+    fn from(e: NetError) -> Self {
+        PipelineError::Net(e)
+    }
+}
+
+impl From<MediaError> for PipelineError {
+    fn from(e: MediaError) -> Self {
+        PipelineError::Media(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let variants: Vec<PipelineError> = vec![
+            PipelineError::Config {
+                line: 3,
+                reason: "x".into(),
+            },
+            PipelineError::Validation("v".into()),
+            PipelineError::Deploy("d".into()),
+            PipelineError::ServiceUnavailable {
+                module: "m".into(),
+                service: "s".into(),
+            },
+            PipelineError::Service {
+                service: "s".into(),
+                reason: "r".into(),
+            },
+            PipelineError::Module {
+                module: "m".into(),
+                reason: "r".into(),
+            },
+            PipelineError::BadPayload("p"),
+            PipelineError::Net(NetError::Disconnected),
+            PipelineError::Media(MediaError::UnknownFrame(1)),
+            PipelineError::Shutdown,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let err = PipelineError::from(NetError::Disconnected);
+        assert!(err.source().is_some());
+        let err = PipelineError::from(MediaError::UnknownFrame(5));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

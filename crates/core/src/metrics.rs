@@ -1,0 +1,386 @@
+//! Metrics: per-stage latency histograms and end-to-end frame accounting.
+//!
+//! These types produce exactly the numbers the paper's evaluation reports:
+//! per-module latency (Fig. 6) and end-to-end frames per second under a
+//! given source rate (Table 2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of logarithmic buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds, up to ~ 4500 s.
+const BUCKETS: usize = 32;
+
+/// A fixed-size logarithmic latency histogram (values in nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        let us = (ns / 1_000).max(1);
+        ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_for(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum_ns / u128::from(self.count)) as u64
+        }
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) by bucket interpolation.
+    /// Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                // Interpolate within the bucket [2^i, 2^(i+1)) µs.
+                let lo = (1u64 << i) * 1_000;
+                let hi = lo * 2;
+                let frac = (target - seen) as f64 / n as f64;
+                let v = lo as f64 + (hi - lo) as f64 * frac;
+                return (v as u64).clamp(self.min_ns, self.max_ns);
+            }
+            seen += n;
+        }
+        self.max_ns
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns() as f64 / 1e6
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2}ms p50={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.count,
+            self.mean_ms(),
+            self.quantile_ns(0.5) as f64 / 1e6,
+            self.quantile_ns(0.99) as f64 / 1e6,
+            self.max_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Metrics for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineMetrics {
+    /// Per-stage processing latency, keyed by module name.
+    pub stages: BTreeMap<String, LatencyHistogram>,
+    /// End-to-end latency (capture → final module done).
+    pub end_to_end: LatencyHistogram,
+    /// Frames delivered all the way to the sink.
+    pub frames_delivered: u64,
+    /// Frames dropped at the source by flow control.
+    pub frames_dropped: u64,
+    /// Camera ticks offered by the source.
+    pub frames_offered: u64,
+    /// Pipeline-clock time of the first delivery (ns).
+    pub first_delivery_ns: u64,
+    /// Pipeline-clock time of the last delivery (ns).
+    pub last_delivery_ns: u64,
+    /// Total run duration on the pipeline clock (ns).
+    pub run_duration_ns: u64,
+}
+
+impl PipelineMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a stage latency sample.
+    pub fn record_stage(&mut self, stage: &str, ns: u64) {
+        self.stages
+            .entry(stage.to_string())
+            .or_default()
+            .record(ns);
+    }
+
+    /// Records an end-to-end delivery at pipeline time `now_ns` with the
+    /// given capture-to-done latency.
+    pub fn record_delivery(&mut self, now_ns: u64, latency_ns: u64) {
+        self.end_to_end.record(latency_ns);
+        if self.frames_delivered == 0 {
+            self.first_delivery_ns = now_ns;
+        }
+        self.last_delivery_ns = now_ns;
+        self.frames_delivered += 1;
+    }
+
+    /// Achieved end-to-end frames per second, measured over the delivery
+    /// span (the paper's Table 2 metric). Returns 0 with fewer than two
+    /// deliveries.
+    pub fn fps(&self) -> f64 {
+        if self.frames_delivered < 2 {
+            return 0.0;
+        }
+        let span_ns = self.last_delivery_ns.saturating_sub(self.first_delivery_ns);
+        if span_ns == 0 {
+            return 0.0;
+        }
+        (self.frames_delivered - 1) as f64 * 1e9 / span_ns as f64
+    }
+
+    /// Fraction of offered camera frames that were dropped at the source.
+    pub fn drop_rate(&self) -> f64 {
+        if self.frames_offered == 0 {
+            return 0.0;
+        }
+        self.frames_dropped as f64 / self.frames_offered as f64
+    }
+
+    /// A formatted table of per-stage and total latencies (the rows of
+    /// Fig. 6).
+    pub fn latency_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "mean(ms)", "p50(ms)", "p99(ms)", "samples"
+        ));
+        for (stage, hist) in &self.stages {
+            out.push_str(&format!(
+                "{:<28} {:>10.2} {:>10.2} {:>10.2} {:>10}\n",
+                stage,
+                hist.mean_ms(),
+                hist.quantile_ns(0.5) as f64 / 1e6,
+                hist.quantile_ns(0.99) as f64 / 1e6,
+                hist.count()
+            ));
+        }
+        out.push_str(&format!(
+            "{:<28} {:>10.2} {:>10.2} {:>10.2} {:>10}\n",
+            "total (end-to-end)",
+            self.end_to_end.mean_ms(),
+            self.end_to_end.quantile_ns(0.5) as f64 / 1e6,
+            self.end_to_end.quantile_ns(0.99) as f64 / 1e6,
+            self.end_to_end.count()
+        ));
+        out
+    }
+
+    /// Merges another run's metrics (e.g. across repetitions).
+    pub fn merge(&mut self, other: &PipelineMetrics) {
+        for (stage, hist) in &other.stages {
+            self.stages.entry(stage.clone()).or_default().merge(hist);
+        }
+        self.end_to_end.merge(&other.end_to_end);
+        self.frames_delivered += other.frames_delivered;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_offered += other.frames_offered;
+        self.last_delivery_ns = self.last_delivery_ns.max(other.last_delivery_ns);
+        self.run_duration_ns = self.run_duration_ns.max(other.run_duration_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_statistics() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ms in [10u64, 20, 30, 40] {
+            h.record(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean_ns(), 25_000_000);
+        assert_eq!(h.min_ns(), 10_000_000);
+        assert_eq!(h.max_ns(), 40_000_000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100_000); // 0.1ms .. 100ms
+        }
+        let p50 = h.quantile_ns(0.5);
+        let p90 = h.quantile_ns(0.9);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= h.min_ns() && p99 <= h.max_ns());
+        // Log-bucket interpolation: p50 within a factor of 2 of the truth.
+        let true_p50 = 50_000_000u64 / 1000 * 1000;
+        assert!(
+            p50 as f64 / true_p50 as f64 > 0.5 && (p50 as f64 / true_p50 as f64) < 2.0,
+            "p50 {p50} vs {true_p50}"
+        );
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1_000_000);
+        b.record(3_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean_ns(), 2_000_000);
+        assert_eq!(a.max_ns(), 3_000_000);
+        // Merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn sub_microsecond_samples_clamp_to_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(500);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ns(1.0) <= 1_000_000);
+    }
+
+    #[test]
+    fn fps_over_delivery_span() {
+        let mut m = PipelineMetrics::new();
+        // 11 deliveries spaced 100 ms apart → 10 intervals in 1 s → 10 fps.
+        for i in 0..11u64 {
+            m.record_delivery(i * 100_000_000, 90_000_000);
+        }
+        assert!((m.fps() - 10.0).abs() < 1e-9, "fps {}", m.fps());
+        assert_eq!(m.frames_delivered, 11);
+        assert_eq!(m.first_delivery_ns, 0);
+        assert_eq!(m.last_delivery_ns, 1_000_000_000);
+    }
+
+    #[test]
+    fn fps_degenerate_cases() {
+        let mut m = PipelineMetrics::new();
+        assert_eq!(m.fps(), 0.0);
+        m.record_delivery(5, 1);
+        assert_eq!(m.fps(), 0.0); // single delivery
+    }
+
+    #[test]
+    fn drop_rate() {
+        let mut m = PipelineMetrics::new();
+        m.frames_offered = 100;
+        m.frames_dropped = 25;
+        assert!((m.drop_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(PipelineMetrics::new().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn latency_table_contains_stages() {
+        let mut m = PipelineMetrics::new();
+        m.record_stage("pose", 60_000_000);
+        m.record_stage("load_frame", 10_000_000);
+        m.record_delivery(0, 90_000_000);
+        m.record_delivery(100_000_000, 95_000_000);
+        let table = m.latency_table();
+        assert!(table.contains("pose"));
+        assert!(table.contains("load_frame"));
+        assert!(table.contains("end-to-end"));
+    }
+
+    #[test]
+    fn metrics_merge() {
+        let mut a = PipelineMetrics::new();
+        a.record_stage("s", 1_000_000);
+        a.record_delivery(10, 5);
+        a.frames_offered = 2;
+        let mut b = PipelineMetrics::new();
+        b.record_stage("s", 3_000_000);
+        b.record_stage("t", 1_000_000);
+        b.record_delivery(20, 6);
+        b.frames_dropped = 1;
+        b.frames_offered = 2;
+        a.merge(&b);
+        assert_eq!(a.stages["s"].count(), 2);
+        assert_eq!(a.stages["t"].count(), 1);
+        assert_eq!(a.frames_delivered, 2);
+        assert_eq!(a.frames_offered, 4);
+        assert_eq!(a.frames_dropped, 1);
+    }
+
+    #[test]
+    fn histogram_display_nonempty() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        assert!(!h.to_string().is_empty());
+    }
+}

@@ -1,0 +1,1280 @@
+//! The local threaded runtime: executes a [`DeploymentPlan`] for real.
+//!
+//! Every module gets its own thread and inbox (the analogue of the paper's
+//! per-module Duktape context); services run executor-pool threads on their
+//! host device; a pacer thread per pipeline implements the camera tick +
+//! credit flow control. All devices live in one process — "device" is a
+//! logical placement domain with its own frame store and service hosts —
+//! and cross-device edges transparently encode/decode frames, exactly as
+//! the paper's ZeroMQ data path does.
+//!
+//! Timing fidelity (Wi-Fi latency, heavyweight inference) is the simulator's
+//! job; the local runtime optionally *emulates* modeled costs with scaled
+//! sleeps so demos behave realistically, but the evaluation harness uses
+//! `videopipe-sim` for calibrated, deterministic numbers.
+
+use crate::deploy::DeploymentPlan;
+use crate::error::PipelineError;
+use crate::flow::{CreditController, SourcePacer};
+use crate::message::{Header, Message, Payload};
+use crate::metrics::PipelineMetrics;
+use crate::module::{Event, Module, ModuleCtx, ModuleRegistry};
+use crate::service::{ServiceRegistry, ServiceRequest, ServiceResponse};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use videopipe_media::{codec, FrameStore};
+use videopipe_net::{InprocHub, MessageKind, MsgReceiver, MsgSender, WireMessage};
+
+/// How cross-device traffic travels in the local runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeTransport {
+    /// All edges are in-process channels (fastest; the default).
+    #[default]
+    Inproc,
+    /// Cross-device traffic goes over real loopback TCP sockets with
+    /// length-prefixed framing — one ingress socket per device, exactly
+    /// like the paper's per-device ZeroMQ endpoints.
+    Tcp,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Camera frame rate offered by each source.
+    pub fps: f64,
+    /// Flow-control credits (1 = the paper's design).
+    pub credits: u32,
+    /// Cost emulation factor: modeled service/link costs are slept scaled
+    /// by this (0.0 disables emulation; 1.0 is real-time).
+    pub time_scale: f64,
+    /// Codec quality for cross-device frames.
+    pub codec_quality: codec::Quality,
+    /// Cross-device transport.
+    pub transport: EdgeTransport,
+    /// When set, a monitoring thread publishes
+    /// [`TelemetrySnapshot`](crate::telemetry::TelemetrySnapshot)s at this
+    /// interval on the `telemetry/<pipeline>` topic.
+    pub telemetry_interval: Option<Duration>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            fps: 30.0,
+            credits: 1,
+            time_scale: 0.0,
+            codec_quality: codec::Quality::default(),
+            transport: EdgeTransport::Inproc,
+            telemetry_interval: None,
+        }
+    }
+}
+
+/// Routes a message to its destination channel: in-process when the
+/// destination lives on the sender's device (or in `Inproc` mode), over the
+/// destination device's TCP ingress socket otherwise.
+struct Router {
+    hub: InprocHub,
+    /// channel → owning device (empty in `Inproc` mode: everything local).
+    channel_device: HashMap<String, String>,
+    /// device → TCP sender towards that device's ingress socket.
+    tcp_peers: HashMap<String, Arc<videopipe_net::tcp::TcpSender>>,
+}
+
+impl Router {
+    fn inproc(hub: InprocHub) -> Self {
+        Router {
+            hub,
+            channel_device: HashMap::new(),
+            tcp_peers: HashMap::new(),
+        }
+    }
+
+    fn send_from(&self, from_device: &str, msg: WireMessage) -> Result<(), PipelineError> {
+        if let Some(dest_device) = self.channel_device.get(&msg.channel) {
+            if dest_device != from_device {
+                if let Some(peer) = self.tcp_peers.get(dest_device) {
+                    return peer.send(msg).map_err(PipelineError::from);
+                }
+            }
+        }
+        self.hub
+            .connect(&msg.channel)
+            .and_then(|s| s.send(msg))
+            .map_err(PipelineError::from)
+    }
+}
+
+/// The outcome of a runtime run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Collected metrics.
+    pub metrics: PipelineMetrics,
+    /// Module log lines, in arrival order (`"module: text"`).
+    pub logs: Vec<String>,
+    /// Handler errors observed (pipeline kept running).
+    pub errors: Vec<String>,
+}
+
+/// Shared state for one running pipeline.
+struct Shared {
+    hub: InprocHub,
+    router: Router,
+    stores: HashMap<String, Arc<FrameStore>>,
+    metrics: Mutex<PipelineMetrics>,
+    logs: Mutex<Vec<String>>,
+    errors: Mutex<Vec<String>>,
+    stop: AtomicBool,
+    epoch: Instant,
+    deliveries: AtomicU64,
+    config: RuntimeConfig,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+fn mod_chan(pipeline: &str, module: &str) -> String {
+    format!("mod/{pipeline}/{module}")
+}
+fn reply_chan(pipeline: &str, module: &str) -> String {
+    format!("rpl/{pipeline}/{module}")
+}
+fn svc_chan(device: &str, service: &str) -> String {
+    format!("svc/{device}/{service}")
+}
+fn fc_chan(pipeline: &str) -> String {
+    format!("fc/{pipeline}")
+}
+
+/// Wiring facts one module needs, derived from the plan.
+struct ModuleWiring {
+    name: String,
+    device: String,
+    /// next module -> (channel, cross_device)
+    nexts: HashMap<String, (String, bool)>,
+    /// service -> (channel, remote)
+    services: HashMap<String, (String, bool)>,
+    is_source: bool,
+    is_sink: bool,
+}
+
+/// The execution context handed to module handlers.
+struct LocalCtx {
+    shared: Arc<Shared>,
+    wiring: Arc<ModuleWiring>,
+    pipeline: String,
+    header: Header,
+    corr: u64,
+    reply_rx: videopipe_net::InprocReceiver,
+}
+
+impl LocalCtx {
+    fn store(&self) -> &Arc<FrameStore> {
+        self.shared
+            .stores
+            .get(&self.wiring.device)
+            .expect("device store exists")
+    }
+
+    fn emulate(&self, modeled: Duration) {
+        let scale = self.shared.config.time_scale;
+        if scale > 0.0 {
+            std::thread::sleep(modeled.mul_f64(scale));
+        }
+    }
+}
+
+impl ModuleCtx for LocalCtx {
+    fn call_service(
+        &mut self,
+        service: &str,
+        mut request: ServiceRequest,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let (channel, remote) = self
+            .wiring
+            .services
+            .get(service)
+            .cloned()
+            .ok_or_else(|| PipelineError::ServiceUnavailable {
+                module: self.wiring.name.clone(),
+                service: service.to_string(),
+            })?;
+        // A frame reference cannot leave its device: encode for remote calls.
+        if remote {
+            if let Payload::FrameRef(id) = request.payload {
+                let frame = self.store().get(id)?;
+                let encoded = codec::encode(&frame, self.shared.config.codec_quality);
+                request.payload = Payload::EncodedFrame(encoded);
+            }
+        }
+        let bytes = request.encode();
+        if remote {
+            // Emulated request transfer (sender-side: the module blocks on
+            // the round trip anyway).
+            self.emulate(Duration::from_micros(
+                2_500 + bytes.len() as u64 * 8 / 100, // ~wifi: 2.5ms + 100Mbit/s
+            ));
+        }
+        self.corr += 1;
+        let corr_id = self.corr;
+        self.shared.router.send_from(
+            &self.wiring.device,
+            WireMessage::request(
+                channel.clone(),
+                reply_chan(&self.pipeline, &self.wiring.name),
+                corr_id,
+                bytes,
+            ),
+        )?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(PipelineError::Service {
+                    service: service.to_string(),
+                    reason: "request timed out".into(),
+                });
+            }
+            match self.reply_rx.recv_timeout(remaining) {
+                Ok(msg) if msg.kind == MessageKind::Response && msg.corr_id == corr_id => {
+                    if remote {
+                        self.emulate(Duration::from_micros(
+                            2_500 + msg.payload.len() as u64 * 8 / 100,
+                        ));
+                    }
+                    return ServiceResponse::decode(&msg.payload);
+                }
+                Ok(_stale) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn call_module(&mut self, target: &str, mut payload: Payload) -> Result<(), PipelineError> {
+        let (channel, cross_device) = self
+            .wiring
+            .nexts
+            .get(target)
+            .cloned()
+            .ok_or_else(|| {
+                PipelineError::Validation(format!(
+                    "module {:?} has no edge to {target:?}",
+                    self.wiring.name
+                ))
+            })?;
+        if cross_device {
+            if let Payload::FrameRef(id) = payload {
+                let frame = self.store().get(id)?;
+                let encoded = codec::encode(&frame, self.shared.config.codec_quality);
+                payload = Payload::EncodedFrame(encoded);
+            }
+            let bytes = payload.size_hint() as u64;
+            self.emulate(Duration::from_micros(2_500 + bytes * 8 / 100));
+        }
+        self.shared.router.send_from(
+            &self.wiring.device,
+            WireMessage::data(
+                channel.clone(),
+                self.header.frame_seq,
+                self.header.capture_ts_ns,
+                payload.encode(),
+            ),
+        )?;
+        Ok(())
+    }
+
+    fn signal_source(&mut self) -> Result<(), PipelineError> {
+        self.shared.router.send_from(&self.wiring.device, WireMessage {
+            kind: MessageKind::Signal,
+            channel: fc_chan(&self.pipeline),
+            reply_to: String::new(),
+            corr_id: 0,
+            seq: self.header.frame_seq,
+            timestamp_ns: self.header.capture_ts_ns,
+            payload: bytes::Bytes::new(),
+        })?;
+        Ok(())
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.shared.now_ns()
+    }
+
+    fn module_name(&self) -> &str {
+        &self.wiring.name
+    }
+
+    fn device_name(&self) -> &str {
+        &self.wiring.device
+    }
+
+    fn frame_store(&self) -> &FrameStore {
+        self.shared
+            .stores
+            .get(&self.wiring.device)
+            .expect("device store exists")
+    }
+
+    fn header(&self) -> Header {
+        self.header
+    }
+
+    fn set_header(&mut self, header: Header) {
+        self.header = header;
+    }
+
+    fn log(&mut self, text: &str) {
+        self.shared
+            .logs
+            .lock()
+            .push(format!("{}: {text}", self.wiring.name));
+    }
+}
+
+/// A deployed, running pipeline on the local threaded runtime.
+pub struct LocalRuntime {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    pipeline: String,
+}
+
+impl LocalRuntime {
+    /// Deploys `plan` and starts all threads (modules, services, pacer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when a module include or service image is
+    /// missing, or wiring fails.
+    pub fn deploy(
+        plan: &DeploymentPlan,
+        modules: &ModuleRegistry,
+        services: &ServiceRegistry,
+        config: RuntimeConfig,
+    ) -> Result<Self, PipelineError> {
+        let pipeline = plan.pipeline.name.clone();
+        let hub = InprocHub::new();
+        let mut stores = HashMap::new();
+        for d in &plan.devices {
+            stores.insert(d.name.clone(), Arc::new(FrameStore::new()));
+        }
+        let source_device = plan
+            .pipeline
+            .sources()
+            .first()
+            .and_then(|s| plan.placement.device_for(&s.name))
+            .ok_or_else(|| PipelineError::Deploy("pipeline has no placed source".into()))?
+            .to_string();
+
+        // Build the router: in `Tcp` mode every device gets a loopback
+        // ingress socket and all cross-device channels route through it.
+        let mut listeners = Vec::new();
+        let router = match config.transport {
+            EdgeTransport::Inproc => Router::inproc(hub.clone()),
+            EdgeTransport::Tcp => {
+                let mut channel_device = HashMap::new();
+                for m in &plan.pipeline.modules {
+                    let device = plan
+                        .placement
+                        .device_for(&m.name)
+                        .ok_or_else(|| {
+                            PipelineError::Deploy(format!("module {:?} unplaced", m.name))
+                        })?
+                        .to_string();
+                    channel_device.insert(mod_chan(&pipeline, &m.name), device.clone());
+                    channel_device.insert(reply_chan(&pipeline, &m.name), device);
+                }
+                for b in &plan.service_bindings {
+                    channel_device
+                        .insert(svc_chan(&b.device, &b.service), b.device.clone());
+                }
+                channel_device.insert(fc_chan(&pipeline), source_device.clone());
+
+                let mut tcp_peers = HashMap::new();
+                for d in &plan.devices {
+                    let listener =
+                        videopipe_net::tcp::TcpListenerHandle::bind("127.0.0.1:0")?;
+                    let addr = format!("127.0.0.1:{}", listener.local_port());
+                    let sender = videopipe_net::tcp::TcpSender::connect_retry(
+                        &addr,
+                        Duration::from_secs(5),
+                    )?;
+                    tcp_peers.insert(d.name.clone(), Arc::new(sender));
+                    listeners.push(listener);
+                }
+                Router {
+                    hub: hub.clone(),
+                    channel_device,
+                    tcp_peers,
+                }
+            }
+        };
+
+        let shared = Arc::new(Shared {
+            hub: hub.clone(),
+            router,
+            stores,
+            metrics: Mutex::new(PipelineMetrics::new()),
+            logs: Mutex::new(Vec::new()),
+            errors: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            epoch: Instant::now(),
+            deliveries: AtomicU64::new(0),
+            config: config.clone(),
+        });
+        let mut threads = Vec::new();
+
+        // TCP ingress pumps: forward arriving wire messages to the local
+        // in-process channel named by `msg.channel`.
+        for listener in listeners {
+            let shared_in = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("vp-tcp-ingress".into())
+                    .spawn(move || {
+                        while !shared_in.stop.load(Ordering::SeqCst) {
+                            match listener.recv_timeout(POLL) {
+                                Ok(msg) => {
+                                    if let Ok(sender) = shared_in.hub.connect(&msg.channel) {
+                                        let _ = sender.send(msg);
+                                    }
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                        listener.shutdown();
+                    })
+                    .expect("spawn tcp ingress"),
+            );
+        }
+
+        // --- Service hosts: one executor pool per (device, service) that is
+        // actually bound by some module.
+        let mut hosted: Vec<(String, String)> = plan
+            .service_bindings
+            .iter()
+            .map(|b| (b.device.clone(), b.service.clone()))
+            .collect();
+        hosted.sort();
+        hosted.dedup();
+        for (device, service) in hosted {
+            let image = services.get(&service).ok_or_else(|| {
+                PipelineError::Deploy(format!("service image {service:?} not registered"))
+            })?;
+            let dev_spec = plan
+                .device(&device)
+                .ok_or_else(|| PipelineError::Deploy(format!("unknown device {device:?}")))?;
+            let executors = dev_spec.cores.max(1);
+            let inbox = hub.bind(&svc_chan(&device, &service))?;
+            let inbox = Arc::new(Mutex::new(inbox));
+            for ex in 0..executors {
+                let inbox = Arc::clone(&inbox);
+                let image = Arc::clone(&image);
+                let shared = Arc::clone(&shared);
+                let device = device.clone();
+                let speed = dev_spec.speed_factor.max(1e-6);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("svc-{device}-{}-{ex}", image.name()))
+                        .spawn(move || {
+                            service_executor_loop(shared, inbox, image, device, speed)
+                        })
+                        .expect("spawn service executor"),
+                );
+            }
+        }
+
+        // --- Modules.
+        let source_names: Vec<String> = plan
+            .pipeline
+            .sources()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        let sink_names: Vec<String> = plan
+            .pipeline
+            .sinks()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        for m in &plan.pipeline.modules {
+            let device = plan
+                .placement
+                .device_for(&m.name)
+                .ok_or_else(|| PipelineError::Deploy(format!("module {:?} unplaced", m.name)))?
+                .to_string();
+            let mut nexts = HashMap::new();
+            for edge in plan.edges.iter().filter(|e| e.from == m.name) {
+                nexts.insert(
+                    edge.to.clone(),
+                    (mod_chan(&pipeline, &edge.to), edge.cross_device),
+                );
+            }
+            let mut svc_map = HashMap::new();
+            for b in plan
+                .service_bindings
+                .iter()
+                .filter(|b| b.module == m.name)
+            {
+                svc_map.insert(
+                    b.service.clone(),
+                    (svc_chan(&b.device, &b.service), b.remote),
+                );
+            }
+            let wiring = Arc::new(ModuleWiring {
+                name: m.name.clone(),
+                device,
+                nexts,
+                services: svc_map,
+                is_source: source_names.contains(&m.name),
+                is_sink: sink_names.contains(&m.name),
+            });
+            let inbox = hub.bind(&mod_chan(&pipeline, &m.name))?;
+            let reply_rx = hub.bind(&reply_chan(&pipeline, &m.name))?;
+            let mut instance = modules.instantiate(&m.include)?;
+            let shared2 = Arc::clone(&shared);
+            let pipeline2 = pipeline.clone();
+            let mut ctx = LocalCtx {
+                shared: Arc::clone(&shared),
+                wiring: Arc::clone(&wiring),
+                pipeline: pipeline.clone(),
+                header: Header::default(),
+                corr: 0,
+                reply_rx,
+            };
+            instance.init(&mut ctx)?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mod-{}", m.name))
+                    .spawn(move || module_loop(shared2, inbox, instance, ctx, pipeline2, wiring))
+                    .expect("spawn module thread"),
+            );
+        }
+
+        // --- Telemetry publisher (paper §7 monitoring).
+        if let Some(interval) = config.telemetry_interval {
+            let shared_t = Arc::clone(&shared);
+            let pipeline_t = pipeline.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("telemetry-{pipeline}"))
+                    .spawn(move || {
+                        let mut last = Instant::now();
+                        while !shared_t.stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(POLL.min(interval));
+                            if last.elapsed() < interval {
+                                continue;
+                            }
+                            last = Instant::now();
+                            let snapshot = {
+                                let metrics = shared_t.metrics.lock();
+                                crate::telemetry::TelemetrySnapshot::from_metrics(
+                                    &pipeline_t,
+                                    shared_t.now_ns(),
+                                    &metrics,
+                                )
+                            };
+                            snapshot.publish(&shared_t.hub);
+                        }
+                    })
+                    .expect("spawn telemetry"),
+            );
+        }
+
+        // --- Pacer thread (flow control at the source).
+        let fc_inbox = hub.bind(&fc_chan(&pipeline))?;
+        let shared3 = Arc::clone(&shared);
+        let pipeline3 = pipeline.clone();
+        let sources = source_names.clone();
+        let pacer_device = source_device.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("pacer-{pipeline}"))
+                .spawn(move || {
+                    pacer_loop(shared3, fc_inbox, pipeline3, sources, pacer_device, config)
+                })
+                .expect("spawn pacer"),
+        );
+
+        Ok(LocalRuntime {
+            shared,
+            threads,
+            pipeline,
+        })
+    }
+
+    /// The pipeline name.
+    pub fn pipeline(&self) -> &str {
+        &self.pipeline
+    }
+
+    /// Subscribes a telemetry monitor to this pipeline (snapshots flow only
+    /// when [`RuntimeConfig::telemetry_interval`] is set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hub binding errors.
+    pub fn monitor(&self) -> Result<crate::telemetry::TelemetryMonitor, PipelineError> {
+        crate::telemetry::TelemetryMonitor::subscribe(&self.shared.hub, &self.pipeline)
+    }
+
+    /// Frames delivered so far.
+    pub fn deliveries(&self) -> u64 {
+        self.shared.deliveries.load(Ordering::Relaxed)
+    }
+
+    /// Runs until `wall` elapses, then stops and reports.
+    pub fn run_for(self, wall: Duration) -> RunReport {
+        std::thread::sleep(wall);
+        self.finish()
+    }
+
+    /// Runs until `n` frames are delivered or `max_wall` elapses.
+    pub fn run_until_deliveries(self, n: u64, max_wall: Duration) -> RunReport {
+        let deadline = Instant::now() + max_wall;
+        while self.deliveries() < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.finish()
+    }
+
+    /// Stops all threads and collects the report.
+    pub fn finish(self) -> RunReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let run_duration_ns = self.shared.now_ns();
+        let mut metrics = self.shared.metrics.lock().clone();
+        metrics.run_duration_ns = run_duration_ns;
+        RunReport {
+            metrics,
+            logs: std::mem::take(&mut *self.shared.logs.lock()),
+            errors: std::mem::take(&mut *self.shared.errors.lock()),
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalRuntime")
+            .field("pipeline", &self.pipeline)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+const POLL: Duration = Duration::from_millis(20);
+
+fn service_executor_loop(
+    shared: Arc<Shared>,
+    inbox: Arc<Mutex<videopipe_net::InprocReceiver>>,
+    image: Arc<dyn crate::service::Service>,
+    device: String,
+    speed: f64,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Take one request while holding the lock only for the receive.
+        let msg = {
+            let rx = inbox.lock();
+            match rx.recv_timeout(POLL) {
+                Ok(m) => m,
+                Err(_) => continue,
+            }
+        };
+        if msg.kind != MessageKind::Request {
+            continue;
+        }
+        let response = match ServiceRequest::decode(&msg.payload) {
+            Ok(mut request) => {
+                // Cross-device frames arrive encoded; decode into the local
+                // store so the service sees a FrameRef like any other.
+                if let Payload::EncodedFrame(bytes) = &request.payload {
+                    match codec::decode(bytes) {
+                        Ok(frame) => {
+                            let store = shared.stores.get(&device).expect("store");
+                            request.payload = Payload::FrameRef(store.insert(frame));
+                        }
+                        Err(e) => {
+                            shared.errors.lock().push(format!(
+                                "service {}: frame decode failed: {e}",
+                                image.name()
+                            ));
+                            continue;
+                        }
+                    }
+                }
+                let store = shared.stores.get(&device).expect("store");
+                // Emulate the modeled compute cost.
+                if shared.config.time_scale > 0.0 {
+                    let cost = image.cost(&request).for_bytes(msg.payload.len());
+                    std::thread::sleep(cost.mul_f64(shared.config.time_scale / speed.max(1e-6)));
+                }
+                image.handle(&request, store)
+            }
+            Err(e) => Err(e),
+        };
+        match response {
+            Ok(resp) => {
+                let _ = shared
+                    .router
+                    .send_from(&device, WireMessage::response_to(&msg, resp.encode()));
+            }
+            Err(e) => {
+                shared
+                    .errors
+                    .lock()
+                    .push(format!("service {}: {e}", image.name()));
+                // Reply with Empty so the caller doesn't time out.
+                let _ = shared.router.send_from(
+                    &device,
+                    WireMessage::response_to(
+                        &msg,
+                        ServiceResponse::new(Payload::Empty).encode(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn module_loop(
+    shared: Arc<Shared>,
+    inbox: videopipe_net::InprocReceiver,
+    mut instance: Box<dyn Module>,
+    mut ctx: LocalCtx,
+    _pipeline: String,
+    wiring: Arc<ModuleWiring>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let msg = match inbox.recv_timeout(POLL) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        let event = match msg.kind {
+            MessageKind::Signal if wiring.is_source => {
+                ctx.set_header(Header {
+                    frame_seq: msg.seq,
+                    capture_ts_ns: msg.timestamp_ns,
+                });
+                Event::FrameTick {
+                    t_ns: msg.timestamp_ns,
+                }
+            }
+            MessageKind::Data => {
+                let payload = match Payload::decode(&msg.payload) {
+                    Ok(Payload::EncodedFrame(bytes)) => match codec::decode(&bytes) {
+                        Ok(frame) => Payload::FrameRef(ctx.store().insert(frame)),
+                        Err(e) => {
+                            shared
+                                .errors
+                                .lock()
+                                .push(format!("{}: frame decode failed: {e}", wiring.name));
+                            continue;
+                        }
+                    },
+                    Ok(p) => p,
+                    Err(e) => {
+                        shared
+                            .errors
+                            .lock()
+                            .push(format!("{}: payload decode failed: {e}", wiring.name));
+                        continue;
+                    }
+                };
+                ctx.set_header(Header {
+                    frame_seq: msg.seq,
+                    capture_ts_ns: msg.timestamp_ns,
+                });
+                Event::Message(Message::new(ctx.header(), payload))
+            }
+            _ => continue,
+        };
+
+        let start = Instant::now();
+        let result = instance.on_event(event, &mut ctx);
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        {
+            let mut metrics = shared.metrics.lock();
+            metrics.record_stage(&wiring.name, elapsed_ns);
+        }
+        match result {
+            Ok(()) => {
+                if wiring.is_sink {
+                    // End-to-end accounting happens at the pacer on the
+                    // completion signal; sinks that forget to signal stall
+                    // the pipeline, so signal on their behalf if they have
+                    // no explicit flow-control role.
+                }
+            }
+            Err(e) => {
+                // Errors caused by the runtime tearing down (peers already
+                // gone) are shutdown artifacts, not pipeline failures.
+                if shared.stop.load(Ordering::SeqCst) {
+                    continue;
+                }
+                shared
+                    .errors
+                    .lock()
+                    .push(format!("{}: {e}", wiring.name));
+                // The frame died here: return its credit so the pipeline
+                // keeps flowing. A Control-kind message distinguishes this
+                // from a real completion so it is not counted as delivered.
+                let _ = shared.router.send_from(
+                    &wiring.device,
+                    WireMessage {
+                        kind: MessageKind::Control,
+                        channel: fc_chan(&ctx.pipeline),
+                        reply_to: String::new(),
+                        corr_id: 0,
+                        seq: ctx.header.frame_seq,
+                        timestamp_ns: ctx.header.capture_ts_ns,
+                        payload: bytes::Bytes::new(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn pacer_loop(
+    shared: Arc<Shared>,
+    fc_inbox: videopipe_net::InprocReceiver,
+    pipeline: String,
+    sources: Vec<String>,
+    source_device: String,
+    config: RuntimeConfig,
+) {
+    let mut pacer = SourcePacer::new(config.fps);
+    let mut controller = CreditController::new(config.credits);
+    let interval = Duration::from_nanos(pacer.interval_ns());
+    let epoch = Instant::now();
+    // Align pacer ticks to wall time.
+    let mut next_tick = epoch;
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Drain completion signals until the next tick.
+        loop {
+            let now = Instant::now();
+            if now >= next_tick {
+                break;
+            }
+            let wait = (next_tick - now).min(POLL);
+            if let Ok(msg) = fc_inbox.recv_timeout(wait) {
+                match msg.kind {
+                    MessageKind::Signal => {
+                        controller.complete();
+                        let now_ns = shared.now_ns();
+                        let latency = now_ns.saturating_sub(msg.timestamp_ns);
+                        let mut metrics = shared.metrics.lock();
+                        metrics.record_delivery(now_ns, latency);
+                        drop(metrics);
+                        shared.deliveries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Error-path credit return: the frame died mid-pipeline.
+                    MessageKind::Control => controller.complete(),
+                    _ => {}
+                }
+            }
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        // Camera tick.
+        pacer.advance();
+        next_tick += interval;
+        let admitted = controller.try_admit();
+        {
+            let mut metrics = shared.metrics.lock();
+            metrics.frames_offered += 1;
+            if !admitted {
+                metrics.frames_dropped += 1;
+            }
+        }
+        if admitted {
+            let t_ns = shared.now_ns();
+            for source in &sources {
+                let _ = shared.router.send_from(
+                    &source_device,
+                    WireMessage {
+                        kind: MessageKind::Signal,
+                        channel: mod_chan(&pipeline, source),
+                        reply_to: String::new(),
+                        corr_id: 0,
+                        seq: pacer.ticks(),
+                        timestamp_ns: t_ns,
+                        payload: bytes::Bytes::new(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{plan, DeviceSpec, Placement};
+    use crate::service::{Service, ServiceCost};
+    use crate::spec::{ModuleSpec, PipelineSpec};
+    use videopipe_media::{Frame, FrameBuf};
+
+    /// Source: mints a tiny frame per tick and forwards the reference.
+    struct TestSource;
+    impl Module for TestSource {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::FrameTick { t_ns } = event {
+                let frame: Frame = FrameBuf::new(16, 16).freeze(ctx.header().frame_seq, t_ns);
+                let id = ctx.frame_store().insert(frame);
+                ctx.call_module("mid", Payload::FrameRef(id))?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Middle: calls the doubling service on a count derived from the frame.
+    struct TestMid;
+    impl Module for TestMid {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(msg) = event {
+                let Payload::FrameRef(id) = msg.payload else {
+                    return Err(PipelineError::BadPayload("expected frame"));
+                };
+                let frame = ctx.frame_store().get(id)?;
+                let resp = ctx.call_service(
+                    "doubler",
+                    ServiceRequest::new("double", Payload::Count(frame.seq())),
+                )?;
+                ctx.frame_store().release(id);
+                ctx.call_module("sink", resp.payload)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Sink: records the count and signals the source.
+    struct TestSink;
+    impl Module for TestSink {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(msg) = event {
+                if let Payload::Count(n) = msg.payload {
+                    ctx.log(&format!("got {n}"));
+                }
+                ctx.signal_source()?;
+            }
+            Ok(())
+        }
+    }
+
+    struct Doubler;
+    impl Service for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn handle(
+            &self,
+            request: &ServiceRequest,
+            _store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            match request.payload {
+                Payload::Count(n) => Ok(ServiceResponse::new(Payload::Count(n * 2))),
+                ref other => Err(crate::service::wrong_payload("doubler", "count", other)),
+            }
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(1))
+        }
+    }
+
+    fn test_spec() -> PipelineSpec {
+        PipelineSpec::new("test")
+            .with_module(ModuleSpec::new("src", "TestSource").with_next("mid"))
+            .with_module(
+                ModuleSpec::new("mid", "TestMid")
+                    .with_service("doubler")
+                    .with_next("sink"),
+            )
+            .with_module(ModuleSpec::new("sink", "TestSink"))
+    }
+
+    fn registries() -> (ModuleRegistry, ServiceRegistry) {
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(TestMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(Doubler));
+        (modules, services)
+    }
+
+    fn run_pipeline(devices: Vec<DeviceSpec>, placement: Placement) -> RunReport {
+        let spec = test_spec();
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let config = RuntimeConfig {
+            fps: 200.0,
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        runtime.run_until_deliveries(10, Duration::from_secs(10))
+    }
+
+    #[test]
+    fn single_device_pipeline_delivers_frames() {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(2)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let report = run_pipeline(devices, placement);
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert!(report.logs.iter().any(|l| l.starts_with("sink: got")));
+        // Stage metrics exist for all three modules.
+        assert!(report.metrics.stages.contains_key("src"));
+        assert!(report.metrics.stages.contains_key("mid"));
+        assert!(report.metrics.stages.contains_key("sink"));
+        assert!(report.metrics.fps() > 0.0);
+    }
+
+    #[test]
+    fn cross_device_pipeline_transcodes_frames() {
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(2)
+                .with_service("doubler"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "desktop")
+            .assign("sink", "phone");
+        let report = run_pipeline(devices, placement);
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn tcp_transport_runs_the_cross_device_pipeline() {
+        // Same topology as `cross_device_pipeline_transcodes_frames`, but
+        // every cross-device message travels over real loopback TCP.
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(2)
+                .with_service("doubler"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "desktop")
+            .assign("sink", "phone");
+        let spec = test_spec();
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let config = RuntimeConfig {
+            fps: 200.0,
+            transport: EdgeTransport::Tcp,
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_until_deliveries(10, Duration::from_secs(15));
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn remote_service_binding_works() {
+        // Baseline topology: module on phone, service on desktop.
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(2)
+                .with_service("doubler"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "phone")
+            .assign("sink", "phone");
+        let report = run_pipeline(devices, placement);
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+    }
+
+    #[test]
+    fn flow_control_limits_in_flight_frames() {
+        // With one credit and a fast camera, drops must occur while
+        // deliveries continue.
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(1)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let spec = test_spec();
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let config = RuntimeConfig {
+            fps: 2000.0,
+            credits: 1,
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_for(Duration::from_millis(500));
+        assert!(report.metrics.frames_delivered > 0);
+        assert!(
+            report.metrics.frames_offered
+                > report.metrics.frames_delivered
+        );
+    }
+
+    #[test]
+    fn telemetry_monitor_receives_snapshots() {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(2)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let config = RuntimeConfig {
+            fps: 200.0,
+            telemetry_interval: Some(Duration::from_millis(40)),
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let mut monitor = runtime.monitor().unwrap();
+        let report = runtime.run_for(Duration::from_millis(400));
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let received = monitor.poll();
+        assert!(received >= 2, "only {received} snapshots");
+        let latest = monitor.latest().unwrap();
+        assert_eq!(latest.pipeline, "test");
+        assert!(latest.frames_delivered > 0);
+        assert!(latest.stage_means_ms.contains_key("mid"));
+        // Snapshots are monotone in time and delivered count.
+        let history = monitor.history();
+        for pair in history.windows(2) {
+            assert!(pair[1].at_ns >= pair[0].at_ns);
+            assert!(pair[1].frames_delivered >= pair[0].frames_delivered);
+        }
+    }
+
+    #[test]
+    fn deploy_rejects_missing_module_include() {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(1)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let (_, services) = registries();
+        let empty_modules = ModuleRegistry::new();
+        let result = LocalRuntime::deploy(
+            &plan,
+            &empty_modules,
+            &services,
+            RuntimeConfig::default(),
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deploy_rejects_missing_service_image() {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(1)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let (modules, _) = registries();
+        let empty_services = ServiceRegistry::new();
+        let result = LocalRuntime::deploy(
+            &plan,
+            &modules,
+            &empty_services,
+            RuntimeConfig::default(),
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn handler_errors_are_reported_not_fatal() {
+        struct FailingMid;
+        impl Module for FailingMid {
+            fn on_event(
+                &mut self,
+                event: Event,
+                _ctx: &mut dyn ModuleCtx,
+            ) -> Result<(), PipelineError> {
+                if matches!(event, Event::Message(_)) {
+                    return Err(PipelineError::Module {
+                        module: "mid".into(),
+                        reason: "boom".into(),
+                    });
+                }
+                Ok(())
+            }
+        }
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(1)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(FailingMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(Doubler));
+        let runtime = LocalRuntime::deploy(
+            &plan,
+            &modules,
+            &services,
+            RuntimeConfig {
+                fps: 100.0,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let report = runtime.run_for(Duration::from_millis(300));
+        assert!(!report.errors.is_empty());
+        // The pipeline did not stall: multiple frames flowed (and errored).
+        assert!(report.metrics.stages["mid"].count() > 1);
+    }
+}

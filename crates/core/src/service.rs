@@ -1,0 +1,387 @@
+//! Stateless services — the paper's container-hosted heavy lifting.
+//!
+//! Paper §2.2: "These services all receive needed data as input so they do
+//! not require saving state. This allows the services to be shared among
+//! different applications and also allows for horizontal scaling."
+//!
+//! Statelessness is enforced structurally: [`Service::handle`] takes
+//! `&self`, so an implementation cannot accumulate per-request mutable state
+//! without interior mutability (and none of the provided services use any).
+//! The simulator exploits this: a service's *result* is independent of
+//! timing, so data can be computed eagerly while queueing/compute time is
+//! replayed on the virtual clock.
+
+use crate::error::PipelineError;
+use crate::message::Payload;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use videopipe_media::FrameStore;
+
+/// A request to a stateless service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRequest {
+    /// Operation name (services may expose several, e.g. the rep counter's
+    /// `"fit"` and `"classify"`).
+    pub op: String,
+    /// Typed argument.
+    pub payload: Payload,
+}
+
+impl ServiceRequest {
+    /// Creates a request.
+    pub fn new(op: impl Into<String>, payload: Payload) -> Self {
+        ServiceRequest {
+            op: op.into(),
+            payload,
+        }
+    }
+
+    /// Encodes `op` + payload for the wire (`[op_len u8][op][payload]`).
+    pub fn encode(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let payload = self.payload.encode();
+        let mut buf = bytes::BytesMut::with_capacity(2 + self.op.len() + payload.len());
+        buf.put_u8(self.op.len().min(255) as u8);
+        buf.put_slice(&self.op.as_bytes()[..self.op.len().min(255)]);
+        buf.put_slice(&payload);
+        buf.freeze()
+    }
+
+    /// Decodes a request produced by [`ServiceRequest::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadPayload`] on truncation or bad UTF-8.
+    pub fn decode(buf: &[u8]) -> Result<Self, PipelineError> {
+        if buf.is_empty() {
+            return Err(PipelineError::BadPayload("empty service request"));
+        }
+        let op_len = buf[0] as usize;
+        if buf.len() < 1 + op_len {
+            return Err(PipelineError::BadPayload("truncated service request"));
+        }
+        let op = std::str::from_utf8(&buf[1..1 + op_len])
+            .map_err(|_| PipelineError::BadPayload("op not utf-8"))?
+            .to_string();
+        let payload = Payload::decode(&buf[1 + op_len..])?;
+        Ok(ServiceRequest { op, payload })
+    }
+}
+
+/// A service response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceResponse {
+    /// Typed result.
+    pub payload: Payload,
+}
+
+impl ServiceResponse {
+    /// Creates a response.
+    pub fn new(payload: Payload) -> Self {
+        ServiceResponse { payload }
+    }
+
+    /// Encodes the response payload for the wire.
+    pub fn encode(&self) -> bytes::Bytes {
+        self.payload.encode()
+    }
+
+    /// Decodes a response produced by [`ServiceResponse::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadPayload`] on malformed bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, PipelineError> {
+        Ok(ServiceResponse {
+            payload: Payload::decode(buf)?,
+        })
+    }
+}
+
+/// The modeled compute cost of a service invocation on the *reference*
+/// device (speed factor 1.0). Used by the simulator and by the local
+/// runtime's optional cost emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceCost {
+    /// Fixed cost per invocation.
+    pub base: Duration,
+    /// Additional cost per KiB of request payload.
+    pub per_kib: Duration,
+}
+
+impl ServiceCost {
+    /// A flat per-invocation cost.
+    pub const fn flat(base: Duration) -> Self {
+        ServiceCost {
+            base,
+            per_kib: Duration::ZERO,
+        }
+    }
+
+    /// Total cost for a request of `payload_bytes`.
+    pub fn for_bytes(&self, payload_bytes: usize) -> Duration {
+        self.base + self.per_kib * (payload_bytes as u32 / 1024)
+    }
+}
+
+/// A stateless service.
+///
+/// The `store` argument gives access to the device-local frame store so a
+/// [`Payload::FrameRef`] request can be resolved without copying pixels —
+/// the service and module share the device, which is exactly the co-location
+/// the paper advocates.
+pub trait Service: Send + Sync {
+    /// The service's registered name (e.g. `"pose_detector"`).
+    fn name(&self) -> &str;
+
+    /// Handles one request. Must be pure modulo the frame store lookup.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`PipelineError::Service`] for malformed
+    /// requests and propagate store misses.
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError>;
+
+    /// The modeled compute cost of `request` on the reference device.
+    fn cost(&self, request: &ServiceRequest) -> ServiceCost {
+        let _ = request;
+        ServiceCost::flat(Duration::from_millis(1))
+    }
+}
+
+/// Helper for implementations: the canonical "wrong payload" error.
+pub fn wrong_payload(service: &str, expected: &str, got: &Payload) -> PipelineError {
+    PipelineError::Service {
+        service: service.to_string(),
+        reason: format!("expected {expected} payload, got {}", got.kind_name()),
+    }
+}
+
+/// A fault-injection decorator: wraps any service and fails every `n`-th
+/// request. Used by resilience tests to verify that the runtime returns the
+/// frame's flow-control credit and keeps the pipeline alive when a service
+/// misbehaves (a crashed container, in the paper's deployment terms).
+pub struct ChaosService {
+    inner: Arc<dyn Service>,
+    fail_every: u64,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl ChaosService {
+    /// Wraps `inner`, failing every `fail_every`-th request (1 = every
+    /// request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fail_every` is zero.
+    pub fn new(inner: Arc<dyn Service>, fail_every: u64) -> Self {
+        assert!(fail_every > 0, "fail_every must be at least 1");
+        ChaosService {
+            inner,
+            fail_every,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Requests served so far (including failed ones).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Service for ChaosService {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let n = self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if n.is_multiple_of(self.fail_every) {
+            return Err(PipelineError::Service {
+                service: self.inner.name().to_string(),
+                reason: format!("injected fault on request #{n}"),
+            });
+        }
+        self.inner.handle(request, store)
+    }
+
+    fn cost(&self, request: &ServiceRequest) -> ServiceCost {
+        self.inner.cost(request)
+    }
+}
+
+impl std::fmt::Debug for ChaosService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosService")
+            .field("inner", &self.inner.name())
+            .field("fail_every", &self.fail_every)
+            .field("calls", &self.calls())
+            .finish()
+    }
+}
+
+/// The set of service images installed on one device ("services are
+/// preinstalled on some edge devices", paper §2.2).
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    services: HashMap<String, Arc<dyn Service>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a service. Replaces any previous service with the same
+    /// name.
+    pub fn install(&mut self, service: Arc<dyn Service>) {
+        self.services.insert(service.name().to_string(), service);
+    }
+
+    /// Looks up a service by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Service>> {
+        self.services.get(name).cloned()
+    }
+
+    /// Whether `name` is installed.
+    pub fn contains(&self, name: &str) -> bool {
+        self.services.contains_key(name)
+    }
+
+    /// Installed service names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.services.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of installed services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EchoService;
+    impl Service for EchoService {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn handle(
+            &self,
+            request: &ServiceRequest,
+            _store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            Ok(ServiceResponse::new(request.payload.clone()))
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(5))
+        }
+    }
+
+    #[test]
+    fn registry_install_and_lookup() {
+        let mut reg = ServiceRegistry::new();
+        assert!(reg.is_empty());
+        reg.install(Arc::new(EchoService));
+        assert!(reg.contains("echo"));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.names(), vec!["echo"]);
+        let svc = reg.get("echo").unwrap();
+        let store = FrameStore::new();
+        let resp = svc
+            .handle(&ServiceRequest::new("echo", Payload::Count(9)), &store)
+            .unwrap();
+        assert_eq!(resp.payload, Payload::Count(9));
+        assert!(reg.get("ghost").is_none());
+    }
+
+    #[test]
+    fn cost_model_scales_with_bytes() {
+        let cost = ServiceCost {
+            base: Duration::from_millis(10),
+            per_kib: Duration::from_millis(1),
+        };
+        assert_eq!(cost.for_bytes(0), Duration::from_millis(10));
+        assert_eq!(cost.for_bytes(4096), Duration::from_millis(14));
+        let flat = ServiceCost::flat(Duration::from_millis(3));
+        assert_eq!(flat.for_bytes(1 << 20), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn wrong_payload_is_descriptive() {
+        let err = wrong_payload("pose", "frame_ref", &Payload::Count(1));
+        let text = err.to_string();
+        assert!(text.contains("pose") && text.contains("frame_ref") && text.contains("count"));
+    }
+
+    #[test]
+    fn chaos_service_fails_every_nth() {
+        let chaos = ChaosService::new(Arc::new(EchoService), 3);
+        let store = FrameStore::new();
+        let req = ServiceRequest::new("echo", Payload::Count(1));
+        assert!(chaos.handle(&req, &store).is_ok());
+        assert!(chaos.handle(&req, &store).is_ok());
+        assert!(chaos.handle(&req, &store).is_err()); // 3rd
+        assert!(chaos.handle(&req, &store).is_ok());
+        assert_eq!(chaos.calls(), 4);
+        assert_eq!(chaos.name(), "echo");
+        assert_eq!(chaos.cost(&req).base, Duration::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn chaos_rejects_zero() {
+        let _ = ChaosService::new(Arc::new(EchoService), 0);
+    }
+
+    #[test]
+    fn request_response_wire_roundtrip() {
+        let req = ServiceRequest::new("classify", Payload::Vector(vec![1.0, 2.0]));
+        let decoded = ServiceRequest::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+        let resp = ServiceResponse::new(Payload::Label {
+            label: "squat".into(),
+            confidence: 0.9,
+        });
+        assert_eq!(ServiceResponse::decode(&resp.encode()).unwrap(), resp);
+        assert!(ServiceRequest::decode(&[]).is_err());
+        assert!(ServiceRequest::decode(&[5, b'a']).is_err());
+    }
+
+    #[test]
+    fn services_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Arc<dyn Service>>();
+        assert_send_sync::<ServiceRegistry>();
+    }
+}

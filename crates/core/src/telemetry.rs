@@ -1,0 +1,275 @@
+//! Pipeline monitoring — the paper's §7 future work ("we aim to include
+//! automatic deployment, scheduling and monitoring components to
+//! VideoPipe").
+//!
+//! The runtime periodically publishes [`TelemetrySnapshot`]s on the
+//! in-process PUB/SUB topic `telemetry/<pipeline>`; any number of
+//! [`TelemetryMonitor`]s subscribe without disturbing the data path (the
+//! publisher drops snapshots when nobody listens). The autoscaler ablation
+//! and the monitoring example consume these.
+
+use crate::error::PipelineError;
+use crate::metrics::PipelineMetrics;
+use std::collections::BTreeMap;
+use std::fmt;
+use videopipe_net::{InprocHub, MessageKind, MsgReceiver, WireMessage};
+
+/// A point-in-time view of one pipeline's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Pipeline-clock time of the snapshot (nanoseconds).
+    pub at_ns: u64,
+    /// Frames delivered so far.
+    pub frames_delivered: u64,
+    /// Frames dropped at the source so far.
+    pub frames_dropped: u64,
+    /// End-to-end FPS over the run so far.
+    pub fps: f64,
+    /// Mean end-to-end latency (ms).
+    pub mean_latency_ms: f64,
+    /// Mean per-stage latency (ms), keyed by module name.
+    pub stage_means_ms: BTreeMap<String, f64>,
+}
+
+impl TelemetrySnapshot {
+    /// Builds a snapshot from live metrics.
+    pub fn from_metrics(pipeline: &str, at_ns: u64, metrics: &PipelineMetrics) -> Self {
+        TelemetrySnapshot {
+            pipeline: pipeline.to_string(),
+            at_ns,
+            frames_delivered: metrics.frames_delivered,
+            frames_dropped: metrics.frames_dropped,
+            fps: metrics.fps(),
+            mean_latency_ms: metrics.end_to_end.mean_ms(),
+            stage_means_ms: metrics
+                .stages
+                .iter()
+                .map(|(k, v)| (k.clone(), v.mean_ms()))
+                .collect(),
+        }
+    }
+
+    /// The pub/sub topic snapshots for `pipeline` are published on.
+    pub fn topic(pipeline: &str) -> String {
+        format!("telemetry/{pipeline}")
+    }
+
+    /// Encodes as a compact `key=value` line protocol.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "pipeline={};at_ns={};delivered={};dropped={};fps={:.4};latency_ms={:.4}",
+            self.pipeline,
+            self.at_ns,
+            self.frames_delivered,
+            self.frames_dropped,
+            self.fps,
+            self.mean_latency_ms
+        );
+        for (stage, ms) in &self.stage_means_ms {
+            out.push_str(&format!(";stage.{stage}={ms:.4}"));
+        }
+        out
+    }
+
+    /// Decodes the line protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::BadPayload`] on malformed lines.
+    pub fn decode(line: &str) -> Result<Self, PipelineError> {
+        let mut snapshot = TelemetrySnapshot {
+            pipeline: String::new(),
+            at_ns: 0,
+            frames_delivered: 0,
+            frames_dropped: 0,
+            fps: 0.0,
+            mean_latency_ms: 0.0,
+            stage_means_ms: BTreeMap::new(),
+        };
+        for field in line.split(';') {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or(PipelineError::BadPayload("telemetry field without '='"))?;
+            let bad = || PipelineError::BadPayload("telemetry value malformed");
+            match key {
+                "pipeline" => snapshot.pipeline = value.to_string(),
+                "at_ns" => snapshot.at_ns = value.parse().map_err(|_| bad())?,
+                "delivered" => snapshot.frames_delivered = value.parse().map_err(|_| bad())?,
+                "dropped" => snapshot.frames_dropped = value.parse().map_err(|_| bad())?,
+                "fps" => snapshot.fps = value.parse().map_err(|_| bad())?,
+                "latency_ms" => snapshot.mean_latency_ms = value.parse().map_err(|_| bad())?,
+                stage_key => {
+                    if let Some(stage) = stage_key.strip_prefix("stage.") {
+                        snapshot
+                            .stage_means_ms
+                            .insert(stage.to_string(), value.parse().map_err(|_| bad())?);
+                    }
+                    // Unknown keys are ignored for forward compatibility.
+                }
+            }
+        }
+        if snapshot.pipeline.is_empty() {
+            return Err(PipelineError::BadPayload("telemetry missing pipeline"));
+        }
+        Ok(snapshot)
+    }
+
+    /// Publishes this snapshot on `hub`; returns how many monitors got it.
+    pub fn publish(&self, hub: &InprocHub) -> usize {
+        hub.publish(&WireMessage {
+            kind: MessageKind::Control,
+            channel: Self::topic(&self.pipeline),
+            reply_to: String::new(),
+            corr_id: 0,
+            seq: self.frames_delivered,
+            timestamp_ns: self.at_ns,
+            payload: bytes::Bytes::from(self.encode().into_bytes()),
+        })
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] t={:.1}s {} delivered, {} dropped, {:.2} fps, {:.1} ms",
+            self.pipeline,
+            self.at_ns as f64 / 1e9,
+            self.frames_delivered,
+            self.frames_dropped,
+            self.fps,
+            self.mean_latency_ms
+        )
+    }
+}
+
+/// A subscriber collecting telemetry snapshots for one pipeline.
+pub struct TelemetryMonitor {
+    rx: videopipe_net::InprocReceiver,
+    history: Vec<TelemetrySnapshot>,
+}
+
+impl TelemetryMonitor {
+    /// Subscribes to `pipeline`'s telemetry on `hub`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hub binding errors.
+    pub fn subscribe(hub: &InprocHub, pipeline: &str) -> Result<Self, PipelineError> {
+        // A unique inbox per monitor.
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let inbox = format!("telemon/{pipeline}/{n}");
+        let rx = hub.bind(&inbox)?;
+        hub.subscribe(&TelemetrySnapshot::topic(pipeline), &inbox)?;
+        Ok(TelemetryMonitor {
+            rx,
+            history: Vec::new(),
+        })
+    }
+
+    /// Drains any pending snapshots into the history; returns how many
+    /// arrived.
+    pub fn poll(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(msg) = self.rx.try_recv() {
+            if let Ok(text) = std::str::from_utf8(&msg.payload) {
+                if let Ok(snapshot) = TelemetrySnapshot::decode(text) {
+                    self.history.push(snapshot);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn latest(&self) -> Option<&TelemetrySnapshot> {
+        self.history.last()
+    }
+
+    /// All snapshots received, oldest first.
+    pub fn history(&self) -> &[TelemetrySnapshot] {
+        &self.history
+    }
+}
+
+impl fmt::Debug for TelemetryMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TelemetryMonitor")
+            .field("snapshots", &self.history.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut metrics = PipelineMetrics::new();
+        metrics.record_stage("pose", 50_000_000);
+        metrics.record_stage("display", 3_000_000);
+        metrics.record_delivery(0, 90_000_000);
+        metrics.record_delivery(100_000_000, 92_000_000);
+        metrics.frames_dropped = 7;
+        TelemetrySnapshot::from_metrics("fitness", 123_000_000, &metrics)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snapshot = sample();
+        let decoded = TelemetrySnapshot::decode(&snapshot.encode()).unwrap();
+        assert_eq!(decoded.pipeline, "fitness");
+        assert_eq!(decoded.frames_delivered, 2);
+        assert_eq!(decoded.frames_dropped, 7);
+        assert!((decoded.fps - snapshot.fps).abs() < 1e-3);
+        assert_eq!(decoded.stage_means_ms.len(), 2);
+        assert!((decoded.stage_means_ms["pose"] - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(TelemetrySnapshot::decode("").is_err());
+        assert!(TelemetrySnapshot::decode("no_equals").is_err());
+        assert!(TelemetrySnapshot::decode("at_ns=abc;pipeline=x").is_err());
+        assert!(TelemetrySnapshot::decode("at_ns=1").is_err()); // no pipeline
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let decoded =
+            TelemetrySnapshot::decode("pipeline=p;future_field=1;at_ns=5").unwrap();
+        assert_eq!(decoded.at_ns, 5);
+    }
+
+    #[test]
+    fn pubsub_delivery() {
+        let hub = InprocHub::new();
+        let mut monitor = TelemetryMonitor::subscribe(&hub, "fitness").unwrap();
+        let snapshot = sample();
+        assert_eq!(snapshot.publish(&hub), 1);
+        assert_eq!(monitor.poll(), 1);
+        assert_eq!(monitor.latest().unwrap().pipeline, "fitness");
+        // No cross-talk with other pipelines.
+        let mut other = TelemetryMonitor::subscribe(&hub, "gesture").unwrap();
+        snapshot.publish(&hub);
+        assert_eq!(other.poll(), 0);
+        assert_eq!(monitor.poll(), 1);
+        assert_eq!(monitor.history().len(), 2);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_dropped() {
+        let hub = InprocHub::new();
+        assert_eq!(sample().publish(&hub), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = sample().to_string();
+        assert!(text.contains("fitness") && text.contains("fps"));
+    }
+}

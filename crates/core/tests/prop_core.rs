@@ -1,0 +1,106 @@
+//! Property tests for the core: spec validation, config robustness, flow
+//! control and the deployment planner.
+
+use proptest::prelude::*;
+use videopipe_core::config;
+use videopipe_core::deploy::{plan, DeviceSpec, Placement};
+use videopipe_core::spec::{ModuleSpec, PipelineSpec};
+
+/// A random DAG built by only allowing edges from lower to higher indices
+/// (guaranteed acyclic).
+fn arb_dag() -> impl Strategy<Value = PipelineSpec> {
+    (2usize..8).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n).prop_filter("forward edges only", |(a, b)| a < b),
+            0..12,
+        );
+        edges.prop_map(move |edges| {
+            let mut spec = PipelineSpec::new("dag");
+            for i in 0..n {
+                let mut m = ModuleSpec::new(format!("m{i}"), "Impl");
+                for (a, b) in &edges {
+                    if *a == i && !m.next_modules.contains(&format!("m{b}")) {
+                        m = m.with_next(format!("m{b}"));
+                    }
+                }
+                spec = spec.with_module(m);
+            }
+            spec
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Forward-edge DAGs always validate, and the topological order
+    /// respects every edge.
+    #[test]
+    fn forward_dags_validate_with_consistent_topo_order(spec in arb_dag()) {
+        spec.validate().unwrap();
+        let order = spec.topo_order().unwrap();
+        prop_assert_eq!(order.len(), spec.modules.len());
+        let position = |name: &str| order.iter().position(|n| n == name).unwrap();
+        for edge in spec.edges() {
+            prop_assert!(position(&edge.from) < position(&edge.to),
+                "edge {}->{} violates topo order", edge.from, edge.to);
+        }
+        // Depth is bounded by module count and at least 1.
+        let depth = spec.depth();
+        prop_assert!(depth >= 1 && depth <= spec.modules.len());
+    }
+
+    /// The config lexer/parser never panics on arbitrary input.
+    #[test]
+    fn config_parse_never_panics(input in "\\PC{0,256}") {
+        let _ = config::parse(&input);
+    }
+
+    /// Nor on inputs assembled from config-ish tokens.
+    #[test]
+    fn config_parse_never_panics_on_tokens(parts in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "modules:", "[", "]", "{", "}", "name:", "a", "include", "(", ")",
+            "\"A.js\"", "next_module:", "service:", "'svc'", ",", "//x\n", "endpoint:",
+        ]),
+        0..40,
+    )) {
+        let input = parts.join(" ");
+        let _ = config::parse(&input);
+    }
+
+    /// Any module→device assignment over devices with full service coverage
+    /// produces a valid plan whose edges/bindings cover the whole spec.
+    #[test]
+    fn full_coverage_placements_always_plan(spec in arb_dag(), assignment in proptest::collection::vec(0usize..3, 8)) {
+        let devices = vec![
+            DeviceSpec::new("d0", 1.0).with_containers(1),
+            DeviceSpec::new("d1", 2.0).with_containers(2),
+            DeviceSpec::new("d2", 0.5).with_containers(1),
+        ];
+        let mut placement = Placement::new();
+        for (i, m) in spec.modules.iter().enumerate() {
+            placement = placement.assign(m.name.clone(), format!("d{}", assignment[i % assignment.len()] % 3));
+        }
+        let deployment = plan(&spec, &devices, &placement).unwrap();
+        prop_assert_eq!(deployment.edges.len(), spec.edges().len());
+        // Every module is on exactly one device and edge cross flags agree
+        // with the placement.
+        for e in &deployment.edges {
+            let from_dev = placement.device_for(&e.from).unwrap();
+            let to_dev = placement.device_for(&e.to).unwrap();
+            prop_assert_eq!(e.cross_device, from_dev != to_dev);
+        }
+    }
+}
+
+#[test]
+fn self_loops_and_cycles_always_rejected() {
+    // Deterministic companion to the DAG property: reversed edges cycle.
+    let spec = PipelineSpec::new("cycle")
+        .with_module(ModuleSpec::new("a", "I").with_next("b"))
+        .with_module(ModuleSpec::new("b", "I").with_next("c"))
+        .with_module(ModuleSpec::new("c", "I").with_next("a"));
+    assert!(spec.validate().is_err());
+    assert!(spec.topo_order().is_err());
+}

@@ -1,0 +1,90 @@
+//! Property tests for the media substrate.
+
+use proptest::prelude::*;
+use videopipe_media::motion::{ExerciseKind, MotionClip};
+use videopipe_media::scene::SceneRenderer;
+use videopipe_media::{codec, FrameBuf, FrameStore};
+
+fn arb_kind() -> impl Strategy<Value = ExerciseKind> {
+    proptest::sample::select(ExerciseKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rendered scenes always round-trip losslessly through the codec.
+    #[test]
+    fn scene_frames_roundtrip_lossless(kind in arb_kind(), phase in 0.0f32..1.0) {
+        let pose = kind.pose_at_phase(phase);
+        let frame = SceneRenderer::new(96, 72).render(&pose, 1, 2);
+        let decoded = codec::decode(&codec::encode(&frame, codec::Quality::LOSSLESS)).unwrap();
+        prop_assert_eq!(decoded.pixels(), frame.pixels());
+    }
+
+    /// Encoding is always smaller than raw for rendered scenes.
+    #[test]
+    fn scene_frames_always_compress(kind in arb_kind(), phase in 0.0f32..1.0) {
+        let pose = kind.pose_at_phase(phase);
+        let frame = SceneRenderer::new(96, 72).render(&pose, 0, 0);
+        let encoded = codec::encode(&frame, codec::Quality::default());
+        prop_assert!(encoded.len() < frame.raw_size());
+    }
+
+    /// Cyclic motions are periodic: phase and phase+1 give the same pose.
+    #[test]
+    fn cyclic_motions_are_periodic(kind in arb_kind(), phase in 0.0f32..1.0) {
+        prop_assume!(kind.is_cyclic());
+        let a = kind.pose_at_phase(phase);
+        let b = kind.pose_at_phase(phase + 1.0);
+        prop_assert!(a.mean_joint_error(&b) < 1e-4);
+    }
+
+    /// All generated poses stay within a sane bounding box.
+    #[test]
+    fn poses_stay_roughly_in_frame(kind in arb_kind(), phase in 0.0f32..1.0) {
+        let pose = kind.pose_at_phase(phase);
+        let (x0, y0, x1, y1) = pose.bbox();
+        prop_assert!(x0 > -0.5 && y0 > -0.5 && x1 < 1.5 && y1 < 1.5,
+            "{kind:?}@{phase}: bbox ({x0},{y0},{x1},{y1})");
+    }
+
+    /// The frame store never exceeds its capacity and never loses the most
+    /// recent insertion.
+    #[test]
+    fn frame_store_capacity_invariant(capacity in 1usize..16, inserts in 1usize..64) {
+        let store = FrameStore::with_capacity(capacity);
+        let mut last = None;
+        for i in 0..inserts {
+            last = Some(store.insert(FrameBuf::new(2, 2).freeze(i as u64, 0)));
+            prop_assert!(store.len() <= capacity);
+        }
+        prop_assert!(store.get(last.unwrap()).is_ok(), "most recent frame must be resident");
+    }
+
+    /// Hip normalisation is idempotent and removes translation.
+    #[test]
+    fn hip_normalisation_properties(kind in arb_kind(), phase in 0.0f32..1.0, dx in -1.0f32..1.0, dy in -1.0f32..1.0) {
+        let pose = kind.pose_at_phase(phase);
+        let normalised = pose.hip_normalized();
+        let translated_then_normalised = pose.translated(dx, dy).hip_normalized();
+        prop_assert!(normalised.mean_joint_error(&translated_then_normalised) < 1e-4);
+        prop_assert!(normalised.hip_normalized().mean_joint_error(&normalised) < 1e-6);
+    }
+
+    /// Source capture is deterministic per (seed, time) regardless of call
+    /// interleaving with other sources.
+    #[test]
+    fn source_determinism(seed in any::<u64>(), ticks in 1usize..8) {
+        use videopipe_media::{SourceConfig, SyntheticVideoSource};
+        let mk = || SyntheticVideoSource::new(
+            SourceConfig::new(30.0).with_resolution(32, 24).with_seed(seed),
+            MotionClip::new(ExerciseKind::Squat, 2.0).with_jitter(0.003),
+        );
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..ticks {
+            let t = i as u64 * 33_000_000;
+            let (fa, fb) = (a.capture(t), b.capture(t));
+            prop_assert_eq!(fa.pixels(), fb.pixels());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Nearest-centroid image classification.
+//!
+//! The paper's image-classification service, in miniature: frames are
+//! downsampled to an 8×8 intensity grid (mean pooling), and classes are
+//! represented by the centroid of their training features. This is the
+//! classic "tiny-CNN substitute" that still has real failure modes (noise,
+//! unseen poses) while being fully self-contained.
+
+use crate::math::{argmin, distance};
+use std::error::Error;
+use std::fmt;
+use videopipe_media::Frame;
+
+/// Side length of the pooled feature grid.
+pub const GRID: usize = 8;
+/// Feature dimensionality.
+pub const FEATURE_DIM: usize = GRID * GRID;
+
+/// Errors from classifier training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassifyError {
+    /// No training examples were provided.
+    EmptyTrainingSet,
+    /// A class had no examples.
+    EmptyClass(String),
+}
+
+impl fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifyError::EmptyTrainingSet => write!(f, "training set is empty"),
+            ClassifyError::EmptyClass(name) => write!(f, "class {name:?} has no examples"),
+        }
+    }
+}
+
+impl Error for ClassifyError {}
+
+/// Extracts the pooled 8×8 mean-intensity feature vector of a frame.
+pub fn image_features(frame: &Frame) -> Vec<f32> {
+    let width = frame.width() as usize;
+    let height = frame.height() as usize;
+    let pixels = frame.pixels();
+    let mut sums = vec![0u64; FEATURE_DIM];
+    let mut counts = vec![0u64; FEATURE_DIM];
+    for y in 0..height {
+        let gy = y * GRID / height;
+        let row = &pixels[y * width..(y + 1) * width];
+        for (x, &p) in row.iter().enumerate() {
+            let gx = x * GRID / width;
+            let cell = gy * GRID + gx;
+            sums[cell] += u64::from(p);
+            counts[cell] += 1;
+        }
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s as f32 / c as f32 })
+        .collect()
+}
+
+/// A nearest-centroid image classifier.
+#[derive(Debug, Clone)]
+pub struct ImageClassifier {
+    labels: Vec<String>,
+    centroids: Vec<Vec<f32>>,
+}
+
+impl ImageClassifier {
+    /// Trains from `(frame, label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassifyError::EmptyTrainingSet`] when no examples are
+    /// given.
+    pub fn train<'a, I>(examples: I) -> Result<Self, ClassifyError>
+    where
+        I: IntoIterator<Item = (&'a Frame, &'a str)>,
+    {
+        use std::collections::BTreeMap;
+        let mut sums: BTreeMap<String, (Vec<f64>, usize)> = BTreeMap::new();
+        for (frame, label) in examples {
+            let features = image_features(frame);
+            let entry = sums
+                .entry(label.to_string())
+                .or_insert_with(|| (vec![0.0; FEATURE_DIM], 0));
+            for (a, f) in entry.0.iter_mut().zip(features.iter()) {
+                *a += f64::from(*f);
+            }
+            entry.1 += 1;
+        }
+        if sums.is_empty() {
+            return Err(ClassifyError::EmptyTrainingSet);
+        }
+        let mut labels = Vec::with_capacity(sums.len());
+        let mut centroids = Vec::with_capacity(sums.len());
+        for (label, (sum, n)) in sums {
+            labels.push(label);
+            centroids.push(sum.into_iter().map(|s| (s / n as f64) as f32).collect());
+        }
+        Ok(ImageClassifier { labels, centroids })
+    }
+
+    /// The known class labels (sorted).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Classifies a frame, returning `(label, distance_to_centroid)`.
+    pub fn classify(&self, frame: &Frame) -> (&str, f32) {
+        let features = image_features(frame);
+        let dists: Vec<f32> = self
+            .centroids
+            .iter()
+            .map(|c| distance(&features, c))
+            .collect();
+        let best = argmin(&dists).expect("trained classifier has classes");
+        (&self.labels[best], dists[best])
+    }
+
+    /// Accuracy over labelled frames.
+    pub fn accuracy<'a, I>(&self, examples: I) -> f32
+    where
+        I: IntoIterator<Item = (&'a Frame, &'a str)>,
+    {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (frame, label) in examples {
+            total += 1;
+            if self.classify(frame).0 == label {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videopipe_media::motion::ExerciseKind;
+    use videopipe_media::scene::SceneRenderer;
+
+    fn render(kind: ExerciseKind, phase: f32) -> Frame {
+        SceneRenderer::new(160, 120).render(&kind.pose_at_phase(phase), 0, 0)
+    }
+
+    #[test]
+    fn feature_dimensions() {
+        let frame = render(ExerciseKind::Idle, 0.0);
+        assert_eq!(image_features(&frame).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn distinguishes_standing_from_plank() {
+        let mut examples = Vec::new();
+        for i in 0..8 {
+            let phase = i as f32 / 8.0;
+            examples.push((render(ExerciseKind::Idle, phase), "standing"));
+            examples.push((render(ExerciseKind::Pushup, phase), "plank"));
+        }
+        let refs: Vec<(&Frame, &str)> = examples.iter().map(|(f, l)| (f, *l)).collect();
+        let clf = ImageClassifier::train(refs.iter().copied()).unwrap();
+        assert_eq!(clf.labels(), &["plank", "standing"]);
+
+        let test_stand = render(ExerciseKind::Idle, 0.33);
+        let test_plank = render(ExerciseKind::Pushup, 0.61);
+        assert_eq!(clf.classify(&test_stand).0, "standing");
+        assert_eq!(clf.classify(&test_plank).0, "plank");
+        assert!(clf.accuracy(refs.iter().copied()) > 0.9);
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let result = ImageClassifier::train(std::iter::empty());
+        assert!(matches!(result, Err(ClassifyError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn classify_reports_distance() {
+        let frame = render(ExerciseKind::Idle, 0.0);
+        let clf = ImageClassifier::train([(&frame, "only")]).unwrap();
+        let (label, dist) = clf.classify(&frame);
+        assert_eq!(label, "only");
+        assert!(dist < 1e-3, "self distance {dist}");
+    }
+}

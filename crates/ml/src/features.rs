@@ -1,0 +1,159 @@
+//! Pose-window feature extraction.
+//!
+//! Paper §4.1.2: "we take a list of 15 consecutive frames … We normalize the
+//! coordinates framewise so that (0,0) is located at the average of the left
+//! and right hips of the human in that frame."
+
+use videopipe_media::{Pose, JOINT_COUNT};
+
+/// The window length used by the activity recogniser (paper value).
+pub const WINDOW_LEN: usize = 15;
+
+/// Feature dimensionality of a full window.
+pub const WINDOW_DIM: usize = WINDOW_LEN * JOINT_COUNT * 2;
+
+/// Normalises one pose framewise: hips to the origin.
+pub fn normalize_pose(pose: &Pose) -> Pose {
+    pose.hip_normalized()
+}
+
+/// Flattens a window of poses into a single feature vector, normalising each
+/// frame to its own hip centre.
+///
+/// Returns `None` unless exactly [`WINDOW_LEN`] poses are supplied.
+pub fn window_features(window: &[Pose]) -> Option<Vec<f32>> {
+    if window.len() != WINDOW_LEN {
+        return None;
+    }
+    let mut out = Vec::with_capacity(WINDOW_DIM);
+    for pose in window {
+        out.extend(normalize_pose(pose).flatten());
+    }
+    Some(out)
+}
+
+/// A sliding pose window that yields a feature vector once full.
+///
+/// Modules keep one of these as their encapsulated state; the stateless
+/// activity service receives the already-extracted features.
+#[derive(Debug, Clone, Default)]
+pub struct PoseWindow {
+    poses: Vec<Pose>,
+}
+
+impl PoseWindow {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        PoseWindow { poses: Vec::new() }
+    }
+
+    /// Pushes a pose; once the window holds [`WINDOW_LEN`] poses it returns
+    /// the feature vector for the current window (and keeps sliding).
+    pub fn push(&mut self, pose: Pose) -> Option<Vec<f32>> {
+        self.poses.push(pose);
+        if self.poses.len() > WINDOW_LEN {
+            self.poses.remove(0);
+        }
+        if self.poses.len() == WINDOW_LEN {
+            window_features(&self.poses)
+        } else {
+            None
+        }
+    }
+
+    /// Number of poses currently buffered.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// Clears the buffered poses.
+    pub fn clear(&mut self) {
+        self.poses.clear();
+    }
+
+    /// The buffered poses, oldest first.
+    pub fn poses(&self) -> &[Pose] {
+        &self.poses
+    }
+}
+
+/// Per-frame feature for the rep counter: the hip-normalised flattened pose
+/// (34 values). The rep counter clusters these with k-means.
+pub fn frame_features(pose: &Pose) -> Vec<f32> {
+    normalize_pose(pose).flatten()
+}
+
+/// Dimensionality of [`frame_features`].
+pub const FRAME_DIM: usize = JOINT_COUNT * 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use videopipe_media::motion::ExerciseKind;
+
+    #[test]
+    fn window_features_require_exact_length() {
+        let poses = vec![Pose::default(); WINDOW_LEN];
+        assert_eq!(window_features(&poses).unwrap().len(), WINDOW_DIM);
+        assert!(window_features(&poses[..14]).is_none());
+        let too_many = vec![Pose::default(); WINDOW_LEN + 1];
+        assert!(window_features(&too_many).is_none());
+    }
+
+    #[test]
+    fn normalisation_removes_translation() {
+        let pose = Pose::default();
+        let moved = pose.translated(0.3, -0.2);
+        let a = window_features(&vec![pose; WINDOW_LEN]).unwrap();
+        let b = window_features(&vec![moved; WINDOW_LEN]).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn different_motions_have_different_features() {
+        let squat: Vec<Pose> = (0..WINDOW_LEN)
+            .map(|i| ExerciseKind::Squat.pose_at_phase(i as f32 / WINDOW_LEN as f32))
+            .collect();
+        let jack: Vec<Pose> = (0..WINDOW_LEN)
+            .map(|i| ExerciseKind::JumpingJack.pose_at_phase(i as f32 / WINDOW_LEN as f32))
+            .collect();
+        let fa = window_features(&squat).unwrap();
+        let fb = window_features(&jack).unwrap();
+        let dist = crate::math::distance(&fa, &fb);
+        assert!(dist > 0.1, "feature distance {dist}");
+    }
+
+    #[test]
+    fn sliding_window_emits_after_fill_then_every_push() {
+        let mut window = PoseWindow::new();
+        for i in 0..WINDOW_LEN - 1 {
+            assert!(window.push(Pose::default()).is_none(), "emitted at {i}");
+        }
+        assert!(window.push(Pose::default()).is_some());
+        assert!(window.push(Pose::default()).is_some());
+        assert_eq!(window.len(), WINDOW_LEN);
+    }
+
+    #[test]
+    fn clear_resets_the_window() {
+        let mut window = PoseWindow::new();
+        for _ in 0..WINDOW_LEN {
+            window.push(Pose::default());
+        }
+        window.clear();
+        assert!(window.is_empty());
+        assert!(window.push(Pose::default()).is_none());
+    }
+
+    #[test]
+    fn frame_features_dimension() {
+        assert_eq!(frame_features(&Pose::default()).len(), FRAME_DIM);
+    }
+}

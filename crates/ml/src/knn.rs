@@ -1,0 +1,449 @@
+//! k-nearest-neighbour classification, with both a brute-force path and a
+//! KD-tree index.
+//!
+//! The activity recogniser (paper §4.1.2) "utilizes nearest neighbor on pose
+//! sequences". Pose-window features are ~500-dimensional, where KD-trees
+//! degrade towards linear scans, so [`KnnClassifier`] picks the brute-force
+//! path for high dimensions and the KD-tree for low ones; both are exposed
+//! for benchmarking.
+
+use crate::math::squared_distance;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from k-NN training and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KnnError {
+    /// No training samples were provided.
+    EmptyTrainingSet,
+    /// Samples and labels have different lengths.
+    LabelCountMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Samples have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimension of the first sample.
+        expected: usize,
+        /// Dimension of the offending sample or query.
+        actual: usize,
+    },
+    /// `k` was zero.
+    ZeroK,
+}
+
+impl fmt::Display for KnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnnError::EmptyTrainingSet => write!(f, "k-NN training set is empty"),
+            KnnError::LabelCountMismatch { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+            KnnError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension {actual} does not match training dimension {expected}")
+            }
+            KnnError::ZeroK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl Error for KnnError {}
+
+/// Dimensionality above which the KD-tree is skipped in favour of the
+/// brute-force scan (the curse of dimensionality makes the tree useless).
+pub const KDTREE_MAX_DIM: usize = 16;
+
+#[derive(Debug, Clone)]
+struct KdNode {
+    /// Index into the sample arrays.
+    point: usize,
+    axis: usize,
+    left: Option<Box<KdNode>>,
+    right: Option<Box<KdNode>>,
+}
+
+/// A KD-tree over row indices of a sample matrix.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    root: Option<Box<KdNode>>,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Builds a balanced KD-tree over `samples` (median splits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples have inconsistent dimensions.
+    pub fn build(samples: &[Vec<f32>]) -> Self {
+        if samples.is_empty() {
+            return KdTree { root: None, dim: 0 };
+        }
+        let dim = samples[0].len();
+        assert!(
+            samples.iter().all(|s| s.len() == dim),
+            "inconsistent sample dimensions"
+        );
+        let mut indices: Vec<usize> = (0..samples.len()).collect();
+        let root = Self::build_node(samples, &mut indices, 0, dim);
+        KdTree { root, dim }
+    }
+
+    fn build_node(
+        samples: &[Vec<f32>],
+        indices: &mut [usize],
+        depth: usize,
+        dim: usize,
+    ) -> Option<Box<KdNode>> {
+        if indices.is_empty() {
+            return None;
+        }
+        let axis = depth % dim;
+        indices.sort_by(|&a, &b| {
+            samples[a][axis]
+                .partial_cmp(&samples[b][axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = indices.len() / 2;
+        let point = indices[mid];
+        let (left_idx, rest) = indices.split_at_mut(mid);
+        let right_idx = &mut rest[1..];
+        Some(Box::new(KdNode {
+            point,
+            axis,
+            left: Self::build_node(samples, left_idx, depth + 1, dim),
+            right: Self::build_node(samples, right_idx, depth + 1, dim),
+        }))
+    }
+
+    /// Returns the indices of the `k` nearest samples to `query`, closest
+    /// first.
+    pub fn nearest(&self, samples: &[Vec<f32>], query: &[f32], k: usize) -> Vec<usize> {
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+        if let Some(root) = &self.root {
+            Self::search(root, samples, query, k, &mut best);
+        }
+        best.into_iter().map(|(_, i)| i).collect()
+    }
+
+    fn search(
+        node: &KdNode,
+        samples: &[Vec<f32>],
+        query: &[f32],
+        k: usize,
+        best: &mut Vec<(f32, usize)>,
+    ) {
+        let d = squared_distance(query, &samples[node.point]);
+        insert_candidate(best, k, d, node.point);
+
+        let axis = node.axis;
+        let diff = query[axis] - samples[node.point][axis];
+        let (near, far) = if diff <= 0.0 {
+            (&node.left, &node.right)
+        } else {
+            (&node.right, &node.left)
+        };
+        if let Some(n) = near {
+            Self::search(n, samples, query, k, best);
+        }
+        // Only descend the far side if the splitting plane is closer than the
+        // current k-th best.
+        let worst = best.last().map(|(d, _)| *d).unwrap_or(f32::INFINITY);
+        if best.len() < k || diff * diff < worst {
+            if let Some(n) = far {
+                Self::search(n, samples, query, k, best);
+            }
+        }
+    }
+
+    /// Feature dimensionality the tree was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+fn insert_candidate(best: &mut Vec<(f32, usize)>, k: usize, d: f32, idx: usize) {
+    let pos = best
+        .binary_search_by(|(bd, _)| bd.partial_cmp(&d).unwrap_or(std::cmp::Ordering::Equal))
+        .unwrap_or_else(|p| p);
+    best.insert(pos, (d, idx));
+    if best.len() > k {
+        best.pop();
+    }
+}
+
+/// A k-NN classifier over string labels.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    samples: Vec<Vec<f32>>,
+    labels: Vec<String>,
+    tree: Option<KdTree>,
+}
+
+impl KnnClassifier {
+    /// Trains ("memorises") the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError`] on an empty training set, mismatched label
+    /// counts, inconsistent dimensions, or `k == 0`.
+    pub fn fit(k: usize, samples: Vec<Vec<f32>>, labels: Vec<String>) -> Result<Self, KnnError> {
+        if k == 0 {
+            return Err(KnnError::ZeroK);
+        }
+        if samples.is_empty() {
+            return Err(KnnError::EmptyTrainingSet);
+        }
+        if samples.len() != labels.len() {
+            return Err(KnnError::LabelCountMismatch {
+                samples: samples.len(),
+                labels: labels.len(),
+            });
+        }
+        let dim = samples[0].len();
+        for s in &samples {
+            if s.len() != dim {
+                return Err(KnnError::DimensionMismatch {
+                    expected: dim,
+                    actual: s.len(),
+                });
+            }
+        }
+        let tree = if dim <= KDTREE_MAX_DIM {
+            Some(KdTree::build(&samples))
+        } else {
+            None
+        };
+        Ok(KnnClassifier {
+            k,
+            samples,
+            labels,
+            tree,
+        })
+    }
+
+    /// Number of neighbours consulted per prediction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of memorised samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the training set is empty (never true for a constructed
+    /// classifier; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.samples[0].len()
+    }
+
+    /// Whether predictions go through the KD-tree index.
+    pub fn uses_kdtree(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    /// Predicts the majority label among the `k` nearest neighbours
+    /// (ties broken by the nearest neighbour among tied labels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError::DimensionMismatch`] if the query has the wrong
+    /// dimension.
+    pub fn predict(&self, query: &[f32]) -> Result<&str, KnnError> {
+        let neighbours = self.neighbours(query)?;
+        let mut votes: HashMap<&str, usize> = HashMap::new();
+        for &i in &neighbours {
+            *votes.entry(self.labels[i].as_str()).or_insert(0) += 1;
+        }
+        let max_votes = *votes.values().max().expect("at least one neighbour");
+        // Nearest neighbour whose label has the max vote count wins ties.
+        let winner = neighbours
+            .iter()
+            .map(|&i| self.labels[i].as_str())
+            .find(|l| votes[l] == max_votes)
+            .expect("at least one neighbour");
+        Ok(winner)
+    }
+
+    /// Indices of the `k` nearest training samples, closest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError::DimensionMismatch`] on a wrong-sized query.
+    pub fn neighbours(&self, query: &[f32]) -> Result<Vec<usize>, KnnError> {
+        if query.len() != self.dim() {
+            return Err(KnnError::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        Ok(match &self.tree {
+            Some(tree) => tree.nearest(&self.samples, query, self.k),
+            None => self.brute_force(query),
+        })
+    }
+
+    /// Brute-force nearest neighbours (also used by benchmarks to compare
+    /// against the KD-tree).
+    pub fn brute_force(&self, query: &[f32]) -> Vec<usize> {
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k + 1);
+        for (i, s) in self.samples.iter().enumerate() {
+            insert_candidate(&mut best, self.k, squared_distance(query, s), i);
+        }
+        best.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Fraction of `(sample, label)` pairs classified correctly.
+    pub fn accuracy(&self, samples: &[Vec<f32>], labels: &[String]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .zip(labels.iter())
+            .filter(|(s, l)| self.predict(s).map(|p| p == l.as_str()).unwrap_or(false))
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_data() -> (Vec<Vec<f32>>, Vec<String>) {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let j = i as f32 * 0.05;
+            samples.push(vec![j, j]);
+            labels.push("low".to_string());
+            samples.push(vec![5.0 + j, 5.0 + j]);
+            labels.push("high".to_string());
+        }
+        (samples, labels)
+    }
+
+    #[test]
+    fn classifies_separable_data() {
+        let (s, l) = grid_data();
+        let knn = KnnClassifier::fit(3, s, l).unwrap();
+        assert_eq!(knn.predict(&[0.1, 0.1]).unwrap(), "low");
+        assert_eq!(knn.predict(&[5.2, 5.2]).unwrap(), "high");
+    }
+
+    #[test]
+    fn k1_returns_exact_nearest() {
+        let (s, l) = grid_data();
+        let knn = KnnClassifier::fit(1, s.clone(), l).unwrap();
+        let n = knn.neighbours(&s[4]).unwrap();
+        assert_eq!(n, vec![4]);
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<Vec<f32>> = (0..200)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let labels: Vec<String> = (0..200).map(|i| format!("l{}", i % 4)).collect();
+        let knn = KnnClassifier::fit(5, samples.clone(), labels).unwrap();
+        assert!(knn.uses_kdtree());
+        for _ in 0..50 {
+            let q: Vec<f32> = (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let a = knn.neighbours(&q).unwrap();
+            let b = knn.brute_force(&q);
+            // Distances must agree (indices may differ on exact ties).
+            let da: Vec<f32> = a.iter().map(|&i| squared_distance(&q, &samples[i])).collect();
+            let db: Vec<f32> = b.iter().map(|&i| squared_distance(&q, &samples[i])).collect();
+            for (x, y) in da.iter().zip(db.iter()) {
+                assert!((x - y).abs() < 1e-6, "kdtree {da:?} != brute {db:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_dimensional_data_skips_kdtree() {
+        let samples = vec![vec![0.0; 64], vec![1.0; 64]];
+        let labels = vec!["a".into(), "b".into()];
+        let knn = KnnClassifier::fit(1, samples, labels).unwrap();
+        assert!(!knn.uses_kdtree());
+        assert_eq!(knn.predict(&vec![0.9; 64]).unwrap(), "b");
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert!(matches!(
+            KnnClassifier::fit(0, vec![vec![0.0]], vec!["a".into()]),
+            Err(KnnError::ZeroK)
+        ));
+        assert!(matches!(
+            KnnClassifier::fit(1, vec![], vec![]),
+            Err(KnnError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            KnnClassifier::fit(1, vec![vec![0.0]], vec![]),
+            Err(KnnError::LabelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            KnnClassifier::fit(1, vec![vec![0.0], vec![0.0, 1.0]], vec!["a".into(), "b".into()]),
+            Err(KnnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dimension() {
+        let (s, l) = grid_data();
+        let knn = KnnClassifier::fit(1, s, l).unwrap();
+        assert!(matches!(
+            knn.predict(&[0.0]),
+            Err(KnnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_points() {
+        let samples = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let labels = vec!["a".into(), "a".into(), "b".into()];
+        let knn = KnnClassifier::fit(10, samples, labels).unwrap();
+        assert_eq!(knn.predict(&[5.0]).unwrap(), "a"); // majority of all 3
+    }
+
+    #[test]
+    fn accuracy_on_training_set_is_high() {
+        let (s, l) = grid_data();
+        let knn = KnnClassifier::fit(3, s.clone(), l.clone()).unwrap();
+        assert!(knn.accuracy(&s, &l) > 0.99);
+    }
+
+    #[test]
+    fn neighbours_sorted_by_distance() {
+        let samples = vec![vec![0.0], vec![10.0], vec![1.0], vec![5.0]];
+        let labels = vec!["a".into(); 4];
+        let knn = KnnClassifier::fit(4, samples.clone(), labels).unwrap();
+        let n = knn.neighbours(&[0.2]).unwrap();
+        let dists: Vec<f32> = n.iter().map(|&i| (samples[i][0] - 0.2).abs()).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(dists, sorted);
+    }
+
+    #[test]
+    fn empty_kdtree_is_valid() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.nearest(&[], &[0.0], 3).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Small dense-vector helpers shared by the ML algorithms.
+//!
+//! Everything operates on `&[f32]` slices so callers can use plain `Vec`s as
+//! feature vectors without any wrapper types.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert!`) in debug builds when the lengths differ; in
+/// release builds the shorter length wins, which is never correct — callers
+/// must pass equal-length vectors.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+pub fn distance(a: &[f32], b: &[f32]) -> f32 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Element-wise mean of a non-empty set of equal-length vectors.
+///
+/// Returns `None` when `vectors` is empty.
+pub fn mean(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut acc = vec![0.0f64; first.len()];
+    for v in vectors {
+        debug_assert_eq!(v.len(), first.len(), "vector length mismatch");
+        for (a, x) in acc.iter_mut().zip(v.iter()) {
+            *a += f64::from(*x);
+        }
+    }
+    let n = vectors.len() as f64;
+    Some(acc.into_iter().map(|a| (a / n) as f32).collect())
+}
+
+/// Arithmetic mean of a scalar slice (0.0 for an empty slice).
+pub fn scalar_mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population variance of a scalar slice (0.0 for fewer than two values).
+pub fn scalar_variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = scalar_mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / values.len() as f32
+}
+
+/// Index of the minimum value (ties broken towards the lower index).
+/// Returns `None` for an empty slice or when every value is NaN.
+pub fn argmin(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum value (ties broken towards the lower index).
+/// Returns `None` for an empty slice or when every value is NaN.
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Intersection-over-union of two axis-aligned boxes given as
+/// `(min_x, min_y, max_x, max_y)`. Degenerate boxes yield 0.
+pub fn iou(a: (f32, f32, f32, f32), b: (f32, f32, f32, f32)) -> f32 {
+    let ix = (a.2.min(b.2) - a.0.max(b.0)).max(0.0);
+    let iy = (a.3.min(b.3) - a.1.max(b.1)).max(0.0);
+    let inter = ix * iy;
+    let area_a = (a.2 - a.0).max(0.0) * (a.3 - a.1).max(0.0);
+    let area_b = (b.2 - b.0).max(0.0) * (b.3 - b.1).max(0.0);
+    let union = area_a + area_b - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(squared_distance(&a, &b), 25.0);
+        assert_eq!(distance(&a, &b), 5.0);
+        assert_eq!(distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        let m = mean(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn scalar_statistics() {
+        assert_eq!(scalar_mean(&[]), 0.0);
+        assert_eq!(scalar_mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(scalar_variance(&[5.0]), 0.0);
+        assert!((scalar_variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmin_argmax_with_ties_and_nan() {
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[f32::NAN]), None);
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 5.0, 5.0]), Some(1));
+        assert_eq!(argmin(&[f32::NAN, 2.0, 1.0]), Some(2));
+    }
+
+    #[test]
+    fn iou_cases() {
+        let unit = (0.0, 0.0, 1.0, 1.0);
+        assert!((iou(unit, unit) - 1.0).abs() < 1e-6);
+        assert_eq!(iou(unit, (2.0, 2.0, 3.0, 3.0)), 0.0);
+        // Half overlap: boxes share half their area.
+        let right = (0.5, 0.0, 1.5, 1.0);
+        let expected = 0.5 / 1.5;
+        assert!((iou(unit, right) - expected).abs() < 1e-6);
+        // Degenerate box.
+        assert_eq!(iou(unit, (0.5, 0.5, 0.5, 0.5)), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the ML substrate.
+
+use proptest::prelude::*;
+use videopipe_ml::kmeans::KMeans;
+use videopipe_ml::knn::{KdTree, KnnClassifier};
+use videopipe_ml::math::{iou, squared_distance};
+use videopipe_ml::reps::{RepCounter, RepCounterModel};
+
+fn arb_points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After training, every sample's predicted cluster is its nearest
+    /// centroid (the defining k-means invariant).
+    #[test]
+    fn kmeans_assignment_is_nearest_centroid(samples in arb_points(3, 4..40), k in 1usize..4) {
+        prop_assume!(samples.len() >= k);
+        let model = KMeans::new(k).fit(&samples).unwrap();
+        for s in &samples {
+            let assigned = model.predict(s);
+            let d_assigned = squared_distance(s, &model.centroids()[assigned]);
+            for c in model.centroids() {
+                prop_assert!(d_assigned <= squared_distance(s, c) + 1e-4);
+            }
+        }
+    }
+
+    /// k-means is deterministic for a fixed seed.
+    #[test]
+    fn kmeans_deterministic(samples in arb_points(2, 3..20), seed in any::<u64>()) {
+        let a = KMeans::new(2).with_seed(seed).fit(&samples);
+        let b = KMeans::new(2).with_seed(seed).fit(&samples);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The KD-tree returns neighbours at exactly the same distances as the
+    /// brute-force scan.
+    #[test]
+    fn kdtree_matches_brute_force(samples in arb_points(3, 1..60), query in proptest::collection::vec(-100.0f32..100.0, 3), k in 1usize..6) {
+        let tree = KdTree::build(&samples);
+        let tree_hits = tree.nearest(&samples, &query, k);
+        let labels = vec!["x".to_string(); samples.len()];
+        let knn = KnnClassifier::fit(k, samples.clone(), labels).unwrap();
+        let brute_hits = knn.brute_force(&query);
+        let d = |idx: &usize| squared_distance(&query, &samples[*idx]);
+        let mut td: Vec<f32> = tree_hits.iter().map(d).collect();
+        let mut bd: Vec<f32> = brute_hits.iter().map(d).collect();
+        td.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(td.len(), bd.len());
+        for (a, b) in td.iter().zip(bd.iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "tree {a} vs brute {b}");
+        }
+    }
+
+    /// IoU is symmetric, bounded in [0, 1], and 1 only for identical boxes.
+    #[test]
+    fn iou_properties(
+        a in (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
+        b in (0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
+    ) {
+        let boxify = |(x0, y0, w, h): (f32, f32, f32, f32)| (x0, y0, x0 + w + 0.01, y0 + h + 0.01);
+        let (ba, bb) = (boxify(a), boxify(b));
+        let v = iou(ba, bb);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - iou(bb, ba)).abs() < 1e-6, "symmetry");
+        prop_assert!((iou(ba, ba) - 1.0).abs() < 1e-5);
+    }
+
+    /// The rep counter can never count more reps than debounced transitions
+    /// allow: with n observations, at most n / (2 * debounce) reps.
+    #[test]
+    fn rep_counter_bounded_by_observations(clusters in proptest::collection::vec(0usize..2, 0..200)) {
+        let model = RepCounterModel::from_parts(vec![vec![0.0; 4], vec![1.0; 4]], 0);
+        let mut counter = RepCounter::new(model);
+        for &c in &clusters {
+            counter.push_cluster(c);
+        }
+        let max_reps = clusters.len() as u32 / 8; // 2 transitions x 4-frame debounce
+        prop_assert!(counter.reps() <= max_reps, "{} reps from {} observations", counter.reps(), clusters.len());
+    }
+
+    /// Pushing the initial cluster forever never counts a rep.
+    #[test]
+    fn rep_counter_idle_never_counts(n in 0usize..300) {
+        let model = RepCounterModel::from_parts(vec![vec![0.0; 4], vec![1.0; 4]], 0);
+        let mut counter = RepCounter::new(model);
+        for _ in 0..n {
+            prop_assert_eq!(counter.push_cluster(0), None);
+        }
+        prop_assert_eq!(counter.reps(), 0);
+    }
+
+    /// k-NN prediction always returns one of the training labels.
+    #[test]
+    fn knn_returns_known_label(samples in arb_points(2, 1..30), query in proptest::collection::vec(-100.0f32..100.0, 2), k in 1usize..5) {
+        let labels: Vec<String> = (0..samples.len()).map(|i| format!("c{}", i % 3)).collect();
+        let knn = KnnClassifier::fit(k, samples, labels.clone()).unwrap();
+        let prediction = knn.predict(&query).unwrap();
+        prop_assert!(labels.iter().any(|l| l == prediction));
+    }
+}

@@ -1,0 +1,168 @@
+//! A deliberately *brokered* message relay — the ablation baseline.
+//!
+//! Paper §3.2: "While publish subscribe systems such as Kafka or queue based
+//! system RabbitMQ have brokers in their systems, these brokers will incur
+//! extra data communication overheads because the data was first sent to the
+//! broker and then forwarded to the final destination."
+//!
+//! VideoPipe itself never routes through a broker. This module exists so the
+//! claim can be *measured*: [`BrokerSender`] forwards every message through
+//! a relay thread (one extra hop plus configurable forwarding delay), and
+//! the `ablation_broker` bench compares pipeline latency over direct vs
+//! brokered transports.
+
+use crate::error::NetError;
+use crate::inproc::InprocHub;
+use crate::wire::WireMessage;
+use crate::MsgSender;
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A relay that receives every message, then forwards it to the destination
+/// channel on the hub, after an optional forwarding delay.
+pub struct Broker {
+    tx: Sender<WireMessage>,
+    forwarded: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Broker {
+    /// Starts a broker forwarding onto `hub` with the given per-message
+    /// forwarding delay (models broker ingest/dispatch costs).
+    pub fn start(hub: InprocHub, forward_delay: Duration) -> Self {
+        let (tx, rx) = unbounded::<WireMessage>();
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let count = Arc::clone(&forwarded);
+        let thread = std::thread::Builder::new()
+            .name("vp-broker".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    if !forward_delay.is_zero() {
+                        std::thread::sleep(forward_delay);
+                    }
+                    // Forward to the destination channel; unknown
+                    // destinations are dropped (as a real broker would after
+                    // retention).
+                    if let Ok(sender) = hub.connect(&msg.channel) {
+                        let _ = sender.send(msg);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+            .expect("spawn broker thread");
+        Broker {
+            tx,
+            forwarded,
+            thread: Some(thread),
+        }
+    }
+
+    /// A sender that routes through this broker towards `channel`.
+    pub fn sender_for(&self, channel: impl Into<String>) -> BrokerSender {
+        BrokerSender {
+            channel: channel.into(),
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        // Close the ingest channel; the forwarding thread drains and exits.
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("forwarded", &self.forwarded())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sender that routes through a [`Broker`] instead of directly to the
+/// destination.
+#[derive(Clone)]
+pub struct BrokerSender {
+    channel: String,
+    tx: Sender<WireMessage>,
+}
+
+impl std::fmt::Debug for BrokerSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerSender")
+            .field("channel", &self.channel)
+            .finish()
+    }
+}
+
+impl MsgSender for BrokerSender {
+    fn send(&self, mut msg: WireMessage) -> Result<(), NetError> {
+        msg.channel = self.channel.clone();
+        self.tx.send(msg).map_err(|_| NetError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgReceiver;
+    use bytes::Bytes;
+
+    #[test]
+    fn broker_forwards_to_destination() {
+        let hub = InprocHub::new();
+        let rx = hub.bind("dest").unwrap();
+        let broker = Broker::start(hub.clone(), Duration::ZERO);
+        let sender = broker.sender_for("dest");
+        sender
+            .send(WireMessage::data("ignored", 5, 0, Bytes::new()))
+            .unwrap();
+        let msg = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.seq, 5);
+        assert_eq!(msg.channel, "dest");
+        assert_eq!(broker.forwarded(), 1);
+    }
+
+    #[test]
+    fn broker_adds_measurable_delay() {
+        let hub = InprocHub::new();
+        let rx = hub.bind("slowdest").unwrap();
+        let broker = Broker::start(hub.clone(), Duration::from_millis(20));
+        let sender = broker.sender_for("slowdest");
+        let start = std::time::Instant::now();
+        sender.send(WireMessage::signal("x", 1)).unwrap();
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let hub = InprocHub::new();
+        let broker = Broker::start(hub, Duration::ZERO);
+        let sender = broker.sender_for("ghost");
+        sender.send(WireMessage::signal("x", 1)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(broker.forwarded(), 0);
+    }
+
+    #[test]
+    fn broker_drop_is_clean() {
+        let hub = InprocHub::new();
+        let _rx = hub.bind("d").unwrap();
+        let broker = Broker::start(hub, Duration::ZERO);
+        drop(broker); // must not hang
+    }
+}

@@ -1,0 +1,370 @@
+//! ZeroMQ-style socket patterns over any [`MsgSender`]/[`MsgReceiver`].
+//!
+//! * [`PushSocket`]/pull — pipeline edges. A push socket with several peers
+//!   round-robins between them, which is exactly how a scaled-out stateless
+//!   service receives its share of requests.
+//! * [`ReqSocket`]/[`RepServer`] — service calls. The requester owns a
+//!   private inbox; requests carry the inbox name and a correlation id, and
+//!   [`ReqSocket::call`] blocks until the matching response arrives.
+//! * Pub/sub lives on [`InprocHub`](crate::InprocHub) (see
+//!   [`InprocHub::publish`](crate::InprocHub::publish)); cross-device pub/sub
+//!   is a push edge to a republishing module, as in the paper's display
+//!   service.
+
+use crate::error::NetError;
+use crate::wire::{MessageKind, WireMessage};
+use crate::{MsgReceiver, MsgSender};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Fan-out/round-robin sending end of a PUSH/PULL edge.
+pub struct PushSocket {
+    peers: Vec<Box<dyn MsgSender>>,
+    next: AtomicUsize,
+}
+
+impl PushSocket {
+    /// Creates a push socket with one peer.
+    pub fn new(peer: Box<dyn MsgSender>) -> Self {
+        PushSocket {
+            peers: vec![peer],
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates a push socket balancing over several peers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `peers` is empty.
+    pub fn balanced(peers: Vec<Box<dyn MsgSender>>) -> Self {
+        assert!(!peers.is_empty(), "push socket needs at least one peer");
+        PushSocket {
+            peers,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends to the next peer (round-robin).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the peer's send error.
+    pub fn send(&self, msg: WireMessage) -> Result<(), NetError> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.peers.len();
+        self.peers[idx].send(msg)
+    }
+}
+
+impl std::fmt::Debug for PushSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PushSocket")
+            .field("peers", &self.peers.len())
+            .finish()
+    }
+}
+
+impl MsgSender for PushSocket {
+    fn send(&self, msg: WireMessage) -> Result<(), NetError> {
+        PushSocket::send(self, msg)
+    }
+}
+
+/// The requesting side of REQ/REP: sends requests to a service and waits for
+/// correlated responses on a private inbox.
+pub struct ReqSocket {
+    service: String,
+    inbox_name: String,
+    to_service: Box<dyn MsgSender>,
+    inbox: Box<dyn MsgReceiver>,
+    next_corr: AtomicU64,
+    timeout: Duration,
+}
+
+impl ReqSocket {
+    /// Creates a requester.
+    ///
+    /// * `service` — the service channel name requests are addressed to.
+    /// * `inbox_name` — the requester's private response channel name.
+    /// * `to_service` — a sender reaching the service.
+    /// * `inbox` — the receiver bound to `inbox_name`.
+    pub fn new(
+        service: impl Into<String>,
+        inbox_name: impl Into<String>,
+        to_service: Box<dyn MsgSender>,
+        inbox: Box<dyn MsgReceiver>,
+    ) -> Self {
+        ReqSocket {
+            service: service.into(),
+            inbox_name: inbox_name.into(),
+            to_service,
+            inbox,
+            next_corr: AtomicU64::new(1),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the per-call timeout (default 10 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The service this socket calls.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// Performs one blocking request/response exchange.
+    ///
+    /// Stale responses (from timed-out earlier calls) are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RequestTimeout`] when no response arrives in
+    /// time, or transport errors.
+    pub fn call(&self, payload: Bytes) -> Result<Bytes, NetError> {
+        let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let req = WireMessage::request(self.service.clone(), self.inbox_name.clone(), corr_id, payload);
+        self.to_service.send(req)?;
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(NetError::RequestTimeout {
+                    service: self.service.clone(),
+                });
+            }
+            match self.inbox.recv_timeout(remaining) {
+                Ok(msg) if msg.kind == MessageKind::Response && msg.corr_id == corr_id => {
+                    return Ok(msg.payload);
+                }
+                Ok(_stale) => continue,
+                Err(NetError::Timeout) => {
+                    return Err(NetError::RequestTimeout {
+                        service: self.service.clone(),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReqSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReqSocket")
+            .field("service", &self.service)
+            .field("inbox", &self.inbox_name)
+            .finish()
+    }
+}
+
+/// Resolves a requester's reply channel name to a sender.
+pub type ReplyResolver = Box<dyn Fn(&str) -> Result<Box<dyn MsgSender>, NetError> + Send>;
+
+/// The serving side of REQ/REP: a loop that answers requests with a handler
+/// function. One `RepServer::serve_*` call handles one request; services run
+/// it in their executor loop.
+pub struct RepServer {
+    inbox: Box<dyn MsgReceiver>,
+    reply_via: ReplyResolver,
+}
+
+impl RepServer {
+    /// Creates a server reading requests from `inbox`; `reply_via` resolves
+    /// a requester's reply channel to a sender (e.g. `hub.connect`).
+    pub fn new(inbox: Box<dyn MsgReceiver>, reply_via: ReplyResolver) -> Self {
+        RepServer { inbox, reply_via }
+    }
+
+    /// Waits up to `timeout` for one request and answers it with `handler`.
+    ///
+    /// Returns `Ok(true)` if a request was served, `Ok(false)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; handler errors are returned to the
+    /// caller after an empty response is sent (so requesters don't hang).
+    pub fn serve_one<F>(&self, timeout: Duration, handler: F) -> Result<bool, NetError>
+    where
+        F: FnOnce(&WireMessage) -> Bytes,
+    {
+        let req = match self.inbox.recv_timeout(timeout) {
+            Ok(msg) if msg.kind == MessageKind::Request => msg,
+            Ok(_) => return Ok(false), // ignore non-requests
+            Err(NetError::Timeout) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let payload = handler(&req);
+        if !req.reply_to.is_empty() {
+            let sender = (self.reply_via)(&req.reply_to)?;
+            sender.send(WireMessage::response_to(&req, payload))?;
+        }
+        Ok(true)
+    }
+}
+
+impl std::fmt::Debug for RepServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepServer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inproc::InprocHub;
+
+    #[test]
+    fn push_round_robins() {
+        let hub = InprocHub::new();
+        let rx1 = hub.bind("w1").unwrap();
+        let rx2 = hub.bind("w2").unwrap();
+        let push = PushSocket::balanced(vec![
+            Box::new(hub.connect("w1").unwrap()),
+            Box::new(hub.connect("w2").unwrap()),
+        ]);
+        assert_eq!(push.peer_count(), 2);
+        for i in 0..6 {
+            push.send(WireMessage::signal("w", i)).unwrap();
+        }
+        assert_eq!(rx1.pending(), 3);
+        assert_eq!(rx2.pending(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_push_panics() {
+        let _ = PushSocket::balanced(vec![]);
+    }
+
+    #[test]
+    fn req_rep_roundtrip() {
+        let hub = InprocHub::new();
+        let service_inbox = hub.bind("echo_svc").unwrap();
+        let client_inbox = hub.bind("client_inbox").unwrap();
+
+        let hub_for_replies = hub.clone();
+        let server = RepServer::new(
+            Box::new(service_inbox),
+            Box::new(move |reply_to| {
+                hub_for_replies
+                    .connect(reply_to)
+                    .map(|s| Box::new(s) as Box<dyn MsgSender>)
+            }),
+        );
+        let server_thread = std::thread::spawn(move || {
+            // Serve two requests.
+            for _ in 0..2 {
+                server
+                    .serve_one(Duration::from_secs(2), |req| {
+                        let mut echoed = req.payload.to_vec();
+                        echoed.reverse();
+                        Bytes::from(echoed)
+                    })
+                    .unwrap();
+            }
+        });
+
+        let req = ReqSocket::new(
+            "echo_svc",
+            "client_inbox",
+            Box::new(hub.connect("echo_svc").unwrap()),
+            Box::new(client_inbox),
+        )
+        .with_timeout(Duration::from_secs(2));
+
+        let resp = req.call(Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(&resp[..], b"cba");
+        let resp2 = req.call(Bytes::from_static(b"12345")).unwrap();
+        assert_eq!(&resp2[..], b"54321");
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn req_times_out_without_server() {
+        let hub = InprocHub::new();
+        let _service_inbox = hub.bind("slow_svc").unwrap(); // bound, never served
+        let client_inbox = hub.bind("cli").unwrap();
+        let req = ReqSocket::new(
+            "slow_svc",
+            "cli",
+            Box::new(hub.connect("slow_svc").unwrap()),
+            Box::new(client_inbox),
+        )
+        .with_timeout(Duration::from_millis(30));
+        assert!(matches!(
+            req.call(Bytes::new()),
+            Err(NetError::RequestTimeout { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_responses_are_discarded() {
+        let hub = InprocHub::new();
+        let service_inbox = hub.bind("svc").unwrap();
+        let client_inbox = hub.bind("cli2").unwrap();
+        // Pre-inject a stale response with a wrong corr_id.
+        hub.connect("cli2")
+            .unwrap()
+            .send(WireMessage {
+                kind: MessageKind::Response,
+                channel: "cli2".into(),
+                reply_to: String::new(),
+                corr_id: 999,
+                seq: 0,
+                timestamp_ns: 0,
+                payload: Bytes::from_static(b"stale"),
+            })
+            .unwrap();
+
+        let hub_for_replies = hub.clone();
+        let server = RepServer::new(
+            Box::new(service_inbox),
+            Box::new(move |r| {
+                hub_for_replies
+                    .connect(r)
+                    .map(|s| Box::new(s) as Box<dyn MsgSender>)
+            }),
+        );
+        let t = std::thread::spawn(move || {
+            server
+                .serve_one(Duration::from_secs(2), |_| Bytes::from_static(b"fresh"))
+                .unwrap();
+        });
+        let req = ReqSocket::new(
+            "svc",
+            "cli2",
+            Box::new(hub.connect("svc").unwrap()),
+            Box::new(client_inbox),
+        )
+        .with_timeout(Duration::from_secs(2));
+        assert_eq!(&req.call(Bytes::new()).unwrap()[..], b"fresh");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rep_ignores_non_request_messages() {
+        let hub = InprocHub::new();
+        let inbox = hub.bind("svc2").unwrap();
+        hub.connect("svc2")
+            .unwrap()
+            .send(WireMessage::signal("svc2", 1))
+            .unwrap();
+        let server = RepServer::new(
+            Box::new(inbox),
+            Box::new(|_| Err(NetError::Disconnected)),
+        );
+        let served = server
+            .serve_one(Duration::from_millis(20), |_| Bytes::new())
+            .unwrap();
+        assert!(!served);
+    }
+}

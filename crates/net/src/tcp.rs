@@ -1,0 +1,286 @@
+//! TCP transport with length-prefixed framing.
+//!
+//! Cross-device pipeline edges use this transport: a [`TcpListenerHandle`]
+//! accepts any number of peers and funnels their frames into one receiver
+//! (matching ZeroMQ PULL semantics), and [`TcpSender`] is the connecting
+//! side. Frames are encoded with [`WireMessage::encode`] behind a `u32`
+//! length prefix.
+
+use crate::error::NetError;
+use crate::wire::{read_frame, write_frame, WireMessage};
+use crate::{MsgReceiver, MsgSender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bound TCP endpoint: accepts peers in the background and exposes their
+/// merged frame stream as a [`MsgReceiver`].
+pub struct TcpListenerHandle {
+    local_port: u16,
+    rx: Receiver<WireMessage>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpListenerHandle {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_port = listener.local_addr()?.port();
+        let (tx, rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("vp-tcp-accept-{local_port}"))
+            .spawn(move || accept_loop(listener, tx, flag))
+            .expect("spawn accept thread");
+        Ok(TcpListenerHandle {
+            local_port,
+            rx,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The port actually bound (useful with port 0).
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// Requests shutdown of the accept loop (reader threads end when their
+    /// peers disconnect).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for TcpListenerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            // The accept loop polls every few ms; joining is quick.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpListenerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpListenerHandle")
+            .field("local_port", &self.local_port)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<WireMessage>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let tx = tx.clone();
+                let flag = Arc::clone(&shutdown);
+                let _ = std::thread::Builder::new()
+                    .name("vp-tcp-reader".into())
+                    .spawn(move || reader_loop(stream, tx, flag));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, tx: Sender<WireMessage>, shutdown: Arc<AtomicBool>) {
+    // Blocking reads with a timeout so shutdown is honoured.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        match read_frame(&mut reader) {
+            Ok(msg) => {
+                if tx.send(msg).is_err() {
+                    break; // receiver dropped
+                }
+            }
+            Err(NetError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break, // disconnect or corrupt stream
+        }
+    }
+}
+
+impl MsgReceiver for TcpListenerHandle {
+    fn recv(&self) -> Result<WireMessage, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<WireMessage, NetError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => NetError::WouldBlock,
+            TryRecvError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<WireMessage, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+}
+
+/// The connecting side of a TCP edge.
+pub struct TcpSender {
+    stream: Mutex<TcpStream>,
+    peer: String,
+}
+
+impl TcpSender {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpSender {
+            stream: Mutex::new(stream),
+            peer: addr.to_string(),
+        })
+    }
+
+    /// Connects, retrying for up to `timeout` (used when the bind side races
+    /// the connect side during deployment).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error after the deadline.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Self, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(sender) => return Ok(sender),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// The peer address.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+}
+
+impl std::fmt::Debug for TcpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpSender").field("peer", &self.peer).finish()
+    }
+}
+
+impl MsgSender for TcpSender {
+    fn send(&self, msg: WireMessage) -> Result<(), NetError> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn end_to_end_over_loopback() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        for i in 0..10u64 {
+            sender
+                .send(WireMessage::data("mod_b", i, i * 10, Bytes::from(vec![i as u8; 100])))
+                .unwrap();
+        }
+        for i in 0..10u64 {
+            let msg = listener.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(msg.seq, i);
+            assert_eq!(msg.payload.len(), 100);
+        }
+    }
+
+    #[test]
+    fn multiple_senders_merge() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let s1 = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        let s2 = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        s1.send(WireMessage::signal("x", 1)).unwrap();
+        s2.send(WireMessage::signal("x", 2)).unwrap();
+        let mut seqs = vec![
+            listener.recv_timeout(Duration::from_secs(2)).unwrap().seq,
+            listener.recv_timeout(Duration::from_secs(2)).unwrap().seq,
+        ];
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn connect_to_dead_port_fails() {
+        // Bind then drop to find a (very likely) free port.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        assert!(TcpSender::connect(&format!("127.0.0.1:{port}")).is_err());
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        let payload = Bytes::from(vec![7u8; 512 * 1024]);
+        sender
+            .send(WireMessage::data("m", 0, 0, payload.clone()))
+            .unwrap();
+        let msg = listener.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg.payload, payload);
+    }
+
+    #[test]
+    fn try_recv_empty_then_message() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        assert!(matches!(listener.try_recv(), Err(NetError::WouldBlock)));
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        sender.send(WireMessage::signal("s", 9)).unwrap();
+        // Poll until the reader thread delivers.
+        let msg = listener.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.seq, 9);
+    }
+
+    #[test]
+    fn shutdown_is_clean() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_port();
+        drop(listener); // must not hang
+        // Port becomes reusable shortly after.
+        let _ = port;
+    }
+}

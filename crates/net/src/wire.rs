@@ -1,0 +1,390 @@
+use crate::error::NetError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// Maximum encoded frame length accepted by the stream decoder (16 MiB —
+/// far above any encoded video frame, defensive against corrupt prefixes).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Maximum channel-name length on the wire.
+pub const MAX_CHANNEL_LEN: usize = 255;
+
+/// The kind of a wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MessageKind {
+    /// Pipeline data flowing along a DAG edge (`call_module`).
+    Data = 0,
+    /// A service request (`call_service`).
+    Request = 1,
+    /// A service response.
+    Response = 2,
+    /// Flow-control signal (the final module's "send the next frame").
+    Signal = 3,
+    /// Runtime control (deploy, shutdown, telemetry).
+    Control = 4,
+}
+
+impl MessageKind {
+    /// Decodes the wire byte.
+    pub fn from_u8(v: u8) -> Option<MessageKind> {
+        match v {
+            0 => Some(MessageKind::Data),
+            1 => Some(MessageKind::Request),
+            2 => Some(MessageKind::Response),
+            3 => Some(MessageKind::Signal),
+            4 => Some(MessageKind::Control),
+            _ => None,
+        }
+    }
+}
+
+/// A message on the wire.
+///
+/// `channel` addresses the destination (module name, service name, or pub/sub
+/// topic); `reply_to` carries the requester's inbox for REQ/REP; `corr_id`
+/// correlates a response to its request; `seq`/`timestamp_ns` propagate the
+/// frame identity end-to-end for latency accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMessage {
+    /// Message kind.
+    pub kind: MessageKind,
+    /// Destination channel (module, service or topic name).
+    pub channel: String,
+    /// Reply inbox for requests (empty when unused).
+    pub reply_to: String,
+    /// Request/response correlation id (0 when unused).
+    pub corr_id: u64,
+    /// Source frame sequence number.
+    pub seq: u64,
+    /// Source frame capture timestamp (nanoseconds).
+    pub timestamp_ns: u64,
+    /// Opaque payload bytes (the core crate defines the payload codec).
+    pub payload: Bytes,
+}
+
+impl WireMessage {
+    /// Creates a data message for `channel`.
+    pub fn data(channel: impl Into<String>, seq: u64, timestamp_ns: u64, payload: Bytes) -> Self {
+        WireMessage {
+            kind: MessageKind::Data,
+            channel: channel.into(),
+            reply_to: String::new(),
+            corr_id: 0,
+            seq,
+            timestamp_ns,
+            payload,
+        }
+    }
+
+    /// Creates a request to `service` with a reply inbox and correlation id.
+    pub fn request(
+        service: impl Into<String>,
+        reply_to: impl Into<String>,
+        corr_id: u64,
+        payload: Bytes,
+    ) -> Self {
+        WireMessage {
+            kind: MessageKind::Request,
+            channel: service.into(),
+            reply_to: reply_to.into(),
+            corr_id,
+            seq: 0,
+            timestamp_ns: 0,
+            payload,
+        }
+    }
+
+    /// Creates the response to `request`.
+    pub fn response_to(request: &WireMessage, payload: Bytes) -> Self {
+        WireMessage {
+            kind: MessageKind::Response,
+            channel: request.reply_to.clone(),
+            reply_to: String::new(),
+            corr_id: request.corr_id,
+            seq: request.seq,
+            timestamp_ns: request.timestamp_ns,
+            payload,
+        }
+    }
+
+    /// Creates a flow-control signal addressed to `channel`.
+    pub fn signal(channel: impl Into<String>, seq: u64) -> Self {
+        WireMessage {
+            kind: MessageKind::Signal,
+            channel: channel.into(),
+            reply_to: String::new(),
+            corr_id: 0,
+            seq,
+            timestamp_ns: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Encoded size in bytes (exact).
+    pub fn encoded_len(&self) -> usize {
+        // kind(1) + channel(1+len) + reply_to(1+len) + corr(8) + seq(8)
+        // + ts(8) + payload(4+len)
+        1 + 1 + self.channel.len() + 1 + self.reply_to.len() + 8 + 8 + 8 + 4 + self.payload.len()
+    }
+
+    /// Encodes into a fresh buffer (no length prefix; see [`write_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFrame`] when a channel name exceeds
+    /// [`MAX_CHANNEL_LEN`].
+    pub fn encode(&self) -> Result<Bytes, NetError> {
+        if self.channel.len() > MAX_CHANNEL_LEN {
+            return Err(NetError::BadFrame("channel name too long"));
+        }
+        if self.reply_to.len() > MAX_CHANNEL_LEN {
+            return Err(NetError::BadFrame("reply_to name too long"));
+        }
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(self.kind as u8);
+        buf.put_u8(self.channel.len() as u8);
+        buf.put_slice(self.channel.as_bytes());
+        buf.put_u8(self.reply_to.len() as u8);
+        buf.put_slice(self.reply_to.as_bytes());
+        buf.put_u64(self.corr_id);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.timestamp_ns);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        Ok(buf.freeze())
+    }
+
+    /// Decodes a frame previously produced by [`WireMessage::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFrame`] on any truncation, bad kind byte, bad
+    /// UTF-8 channel, or trailing garbage.
+    pub fn decode(mut buf: &[u8]) -> Result<WireMessage, NetError> {
+        fn need(buf: &[u8], n: usize) -> Result<(), NetError> {
+            if buf.remaining() < n {
+                Err(NetError::BadFrame("truncated frame"))
+            } else {
+                Ok(())
+            }
+        }
+        need(buf, 2)?;
+        let kind = MessageKind::from_u8(buf.get_u8())
+            .ok_or(NetError::BadFrame("unknown message kind"))?;
+        let chan_len = buf.get_u8() as usize;
+        need(buf, chan_len)?;
+        let channel = std::str::from_utf8(&buf[..chan_len])
+            .map_err(|_| NetError::BadFrame("channel not utf-8"))?
+            .to_string();
+        buf.advance(chan_len);
+        need(buf, 1)?;
+        let reply_len = buf.get_u8() as usize;
+        need(buf, reply_len)?;
+        let reply_to = std::str::from_utf8(&buf[..reply_len])
+            .map_err(|_| NetError::BadFrame("reply_to not utf-8"))?
+            .to_string();
+        buf.advance(reply_len);
+        need(buf, 8 + 8 + 8 + 4)?;
+        let corr_id = buf.get_u64();
+        let seq = buf.get_u64();
+        let timestamp_ns = buf.get_u64();
+        let payload_len = buf.get_u32() as usize;
+        if payload_len > MAX_FRAME_LEN {
+            return Err(NetError::FrameTooLarge { len: payload_len });
+        }
+        need(buf, payload_len)?;
+        let payload = Bytes::copy_from_slice(&buf[..payload_len]);
+        buf.advance(payload_len);
+        if buf.has_remaining() {
+            return Err(NetError::BadFrame("trailing bytes"));
+        }
+        Ok(WireMessage {
+            kind,
+            channel,
+            reply_to,
+            corr_id,
+            seq,
+            timestamp_ns,
+            payload,
+        })
+    }
+}
+
+/// Writes one length-prefixed frame to a stream.
+///
+/// # Errors
+///
+/// Propagates encode and I/O errors.
+pub fn write_frame<W: Write>(writer: &mut W, msg: &WireMessage) -> Result<(), NetError> {
+    let body = msg.encode()?;
+    if body.len() > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge { len: body.len() });
+    }
+    writer.write_all(&(body.len() as u32).to_be_bytes())?;
+    writer.write_all(&body)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame from a stream.
+///
+/// # Errors
+///
+/// Returns [`NetError::Disconnected`] on clean EOF before a frame starts,
+/// [`NetError::FrameTooLarge`] for implausible prefixes, and
+/// [`NetError::BadFrame`]/[`NetError::Io`] otherwise.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<WireMessage, NetError> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(NetError::Disconnected)
+        }
+        Err(e) => return Err(NetError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge { len });
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    WireMessage::decode(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireMessage {
+        WireMessage {
+            kind: MessageKind::Request,
+            channel: "pose_detector".into(),
+            reply_to: "module_a_inbox".into(),
+            corr_id: 77,
+            seq: 1234,
+            timestamp_ns: 999_999_999,
+            payload: Bytes::from_static(b"hello frame"),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let msg = sample();
+        let encoded = msg.encode().unwrap();
+        assert_eq!(encoded.len(), msg.encoded_len());
+        let decoded = WireMessage::decode(&encoded).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_empty_fields() {
+        let msg = WireMessage::signal("", 0);
+        let decoded = WireMessage::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(
+            WireMessage::data("m", 1, 2, Bytes::new()).kind,
+            MessageKind::Data
+        );
+        let req = WireMessage::request("svc", "inbox", 9, Bytes::new());
+        assert_eq!(req.kind, MessageKind::Request);
+        let resp = WireMessage::response_to(&req, Bytes::from_static(b"r"));
+        assert_eq!(resp.kind, MessageKind::Response);
+        assert_eq!(resp.channel, "inbox");
+        assert_eq!(resp.corr_id, 9);
+        assert_eq!(WireMessage::signal("src", 3).kind, MessageKind::Signal);
+    }
+
+    #[test]
+    fn decode_rejects_truncations() {
+        let encoded = sample().encode().unwrap();
+        for len in 0..encoded.len() {
+            assert!(
+                WireMessage::decode(&encoded[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut encoded = sample().encode().unwrap().to_vec();
+        encoded.push(0);
+        assert!(WireMessage::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let mut encoded = sample().encode().unwrap().to_vec();
+        encoded[0] = 200;
+        assert!(WireMessage::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_utf8_channel() {
+        let msg = sample();
+        let mut encoded = msg.encode().unwrap().to_vec();
+        encoded[2] = 0xFF; // first channel byte
+        assert!(WireMessage::decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_oversized_channel() {
+        let msg = WireMessage::data("x".repeat(300), 0, 0, Bytes::new());
+        assert!(msg.encode().is_err());
+    }
+
+    #[test]
+    fn message_kind_roundtrip() {
+        for kind in [
+            MessageKind::Data,
+            MessageKind::Request,
+            MessageKind::Response,
+            MessageKind::Signal,
+            MessageKind::Control,
+        ] {
+            assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(MessageKind::from_u8(99), None);
+    }
+
+    #[test]
+    fn stream_framing_roundtrip() {
+        let mut buf = Vec::new();
+        let a = sample();
+        let b = WireMessage::signal("src", 5);
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), a);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            NetError::Disconnected
+        ));
+    }
+
+    #[test]
+    fn read_frame_rejects_giant_prefix() {
+        let bytes = (u32::MAX).to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            NetError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_io_error() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Io(_))));
+    }
+}

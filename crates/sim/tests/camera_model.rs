@@ -1,0 +1,126 @@
+//! Precise tests of the simulator's camera/pacing model against the
+//! closed-form law documented in `scenario.rs`:
+//! `cycle = max(1/fps + camera_recovery, pipeline_latency)`.
+
+use std::time::Duration;
+use videopipe_core::deploy::{plan, DeploymentPlan, DeviceSpec, Placement};
+use videopipe_core::message::Payload;
+use videopipe_core::module::{Event, Module, ModuleCtx, ModuleRegistry};
+use videopipe_core::service::ServiceRegistry;
+use videopipe_core::spec::{ModuleSpec, PipelineSpec};
+use videopipe_core::PipelineError;
+use videopipe_sim::{Scenario, SimProfile};
+
+/// A two-module pipeline whose latency is fully determined by module costs
+/// (no services, no network): src (cost A) → sink (cost B).
+struct Src;
+impl Module for Src {
+    fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+        if let Event::FrameTick { .. } = event {
+            ctx.call_module("sink", Payload::Empty)?;
+        }
+        Ok(())
+    }
+}
+struct Snk;
+impl Module for Snk {
+    fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+        if let Event::Message(_) = event {
+            ctx.signal_source()?;
+        }
+        Ok(())
+    }
+}
+
+fn one_device_plan() -> DeploymentPlan {
+    let spec = PipelineSpec::new("p")
+        .with_module(ModuleSpec::new("src", "Src").with_next("sink"))
+        .with_module(ModuleSpec::new("sink", "Snk"));
+    let devices = vec![DeviceSpec::new("d", 1.0)];
+    let placement = Placement::new().assign("src", "d").assign("sink", "d");
+    plan(&spec, &devices, &placement).unwrap()
+}
+
+fn profile(src_ms: u64, sink_ms: u64, recovery_ms: u64) -> SimProfile {
+    let mut p = SimProfile::deterministic();
+    p.module_cost.clear();
+    p.module_cost
+        .insert("Src".into(), Duration::from_millis(src_ms));
+    p.module_cost
+        .insert("Snk".into(), Duration::from_millis(sink_ms));
+    p.dispatch_overhead_per_module = Duration::ZERO;
+    p.ipc = Duration::ZERO;
+    p.camera_recovery = Duration::from_millis(recovery_ms);
+    p
+}
+
+fn measured_fps(fps: f64, src_ms: u64, sink_ms: u64, recovery_ms: u64) -> f64 {
+    let mut modules = ModuleRegistry::new();
+    modules.register("Src", || Box::new(Src));
+    modules.register("Snk", || Box::new(Snk));
+    let services = ServiceRegistry::new();
+    let mut scenario = Scenario::new(profile(src_ms, sink_ms, recovery_ms));
+    let h = scenario
+        .add_pipeline(&one_device_plan(), &modules, &services, fps, 1)
+        .unwrap();
+    let report = scenario.run(Duration::from_secs(100));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    report.metrics(h).fps()
+}
+
+#[test]
+fn source_bound_regime_follows_interval_plus_recovery() {
+    // Latency 20 ms << cycle floor: fps = 1 / (1/5 + 0.02) = 4.5455.
+    let fps = measured_fps(5.0, 10, 10, 20);
+    assert!((fps - 4.5455).abs() < 0.02, "measured {fps}");
+    // At 10 fps: 1 / 0.12 = 8.333.
+    let fps = measured_fps(10.0, 10, 10, 20);
+    assert!((fps - 8.333).abs() < 0.03, "measured {fps}");
+}
+
+#[test]
+fn latency_bound_regime_caps_at_pipeline_latency() {
+    // Latency 100 ms dominates any source rate above 1/(0.1).
+    for source in [20.0, 30.0, 60.0] {
+        let fps = measured_fps(source, 60, 40, 20);
+        assert!((fps - 10.0).abs() < 0.15, "source {source}: measured {fps}");
+    }
+}
+
+#[test]
+fn crossover_happens_at_the_predicted_rate() {
+    // Latency 100 ms; floor = 1/fps + 20 ms. Crossover when 1/fps = 80 ms
+    // → fps = 12.5. Below: source-bound; above: latency-bound.
+    let below = measured_fps(10.0, 60, 40, 20); // floor 120 > 100
+    assert!((below - 8.333).abs() < 0.05, "below crossover: {below}");
+    let above = measured_fps(20.0, 60, 40, 20); // floor 70 < 100
+    assert!((above - 10.0).abs() < 0.15, "above crossover: {above}");
+}
+
+#[test]
+fn zero_recovery_tracks_source_exactly() {
+    let fps = measured_fps(5.0, 5, 5, 0);
+    assert!((fps - 5.0).abs() < 0.01, "measured {fps}");
+}
+
+#[test]
+fn device_speed_scales_latency() {
+    // Same modules on a 2x device: latency halves, cap doubles.
+    let mut modules = ModuleRegistry::new();
+    modules.register("Src", || Box::new(Src));
+    modules.register("Snk", || Box::new(Snk));
+    let spec = PipelineSpec::new("p")
+        .with_module(ModuleSpec::new("src", "Src").with_next("sink"))
+        .with_module(ModuleSpec::new("sink", "Snk"));
+    let devices = vec![DeviceSpec::new("fast", 2.0)];
+    let placement = Placement::new().assign("src", "fast").assign("sink", "fast");
+    let plan = plan(&spec, &devices, &placement).unwrap();
+    let mut scenario = Scenario::new(profile(60, 40, 0));
+    let h = scenario
+        .add_pipeline(&plan, &modules, &ServiceRegistry::new(), 60.0, 1)
+        .unwrap();
+    let report = scenario.run(Duration::from_secs(60));
+    // 100 ms reference work on a 2x device = 50 ms → 20 fps.
+    let fps = report.metrics(h).fps();
+    assert!((fps - 20.0).abs() < 0.4, "measured {fps}");
+}

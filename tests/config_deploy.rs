@@ -1,0 +1,67 @@
+//! Integration: configuration text → validated spec → deployment plan →
+//! automatic placement, across crates.
+
+use videopipe::apps::fitness;
+use videopipe::core::config;
+use videopipe::core::deploy::{autoplace_pinned, estimate_latency, plan, Placement};
+use videopipe::sim::SimProfile;
+
+#[test]
+fn fitness_config_text_plans_and_deploys() {
+    let spec = config::parse(fitness::CONFIG_TEXT).expect("parse");
+    assert_eq!(spec.name, "fitness");
+    let deployment = plan(&spec, &fitness::devices(), &fitness::videopipe_placement())
+        .expect("plan");
+    assert_eq!(deployment.remote_binding_count(), 0);
+    assert_eq!(deployment.modules_on(fitness::DESKTOP).len(), 3);
+}
+
+#[test]
+fn autoplace_recovers_the_paper_placement_under_affinity_pins() {
+    let spec = fitness::pipeline_spec();
+    let params = SimProfile::calibrated().to_cost_params(28_000);
+    let pins = Placement::new()
+        .assign("video_streaming", fitness::PHONE)
+        .assign("display", fitness::TV);
+    let (placement, cost) =
+        autoplace_pinned(&spec, &fitness::devices(), &params, &pins).expect("autoplace");
+    assert_eq!(placement, fitness::videopipe_placement());
+    // And the modeled cost of the recovered placement beats the baseline's.
+    let baseline = plan(&spec, &fitness::devices(), &fitness::baseline_placement()).unwrap();
+    assert!(cost < estimate_latency(&baseline, &params));
+}
+
+#[test]
+fn config_errors_surface_with_line_numbers() {
+    let broken = "modules: [\n  { name: a include(\"A.js\")\n    next_module: ghost } ]";
+    match config::parse(broken) {
+        Err(videopipe::core::PipelineError::Validation(msg)) => {
+            assert!(msg.contains("ghost"), "{msg}");
+        }
+        other => panic!("expected a validation error, got {other:?}"),
+    }
+    let syntax = "modules: [\n  { name: }\n]";
+    match config::parse(syntax) {
+        Err(videopipe::core::PipelineError::Config { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected a config error, got {other:?}"),
+    }
+}
+
+#[test]
+fn plans_reject_capability_violations() {
+    use videopipe::core::prelude::DeviceSpec;
+    // A phone-only home cannot host the pose service.
+    let devices = vec![DeviceSpec::new("phone", 1.0)];
+    let placement = {
+        let mut p = Placement::new();
+        for m in &fitness::pipeline_spec().modules {
+            p = p.assign(m.name.clone(), "phone");
+        }
+        p
+    };
+    let err = plan(&fitness::pipeline_spec(), &devices, &placement).unwrap_err();
+    assert!(matches!(
+        err,
+        videopipe::core::PipelineError::ServiceUnavailable { .. }
+    ));
+}

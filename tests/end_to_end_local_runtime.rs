@@ -1,0 +1,125 @@
+//! End-to-end integration: the full fitness application running on the
+//! *threaded* local runtime — real frames, real pose detection, real
+//! classifiers, real inter-module channels — no simulation involved.
+
+use std::time::Duration;
+use videopipe::apps::fitness;
+use videopipe::core::prelude::*;
+
+fn run_fitness_threaded(plan: &DeploymentPlan) -> videopipe::core::runtime::RunReport {
+    let modules = fitness::module_registry(9);
+    let services = fitness::service_registry(9);
+    let runtime = LocalRuntime::deploy(
+        plan,
+        &modules,
+        &services,
+        RuntimeConfig {
+            fps: 60.0,
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("deploy");
+    // Generous deadline: the full-workspace debug test run executes many
+    // heavy suites in parallel and this test does real ML per frame.
+    runtime.run_until_deliveries(30, Duration::from_secs(120))
+}
+
+#[test]
+fn fitness_pipeline_runs_on_real_threads() {
+    let report = run_fitness_threaded(&fitness::videopipe_plan().unwrap());
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        report.metrics.frames_delivered >= 30,
+        "only {} frames delivered",
+        report.metrics.frames_delivered
+    );
+    // All five stages produced latency samples.
+    for stage in [
+        "video_streaming",
+        "pose_detection",
+        "activity_recognition",
+        "rep_counter",
+        "display",
+    ] {
+        assert!(
+            report.metrics.stages.contains_key(stage),
+            "missing stage {stage}"
+        );
+    }
+    // The display actually rendered frames with labels.
+    assert!(
+        report.logs.iter().any(|l| l.contains("activity=")),
+        "no display output in {:?}",
+        report.logs.iter().take(5).collect::<Vec<_>>()
+    );
+    // Rep counter calibrated during the run.
+    assert!(report.logs.iter().any(|l| l.contains("calibrated")));
+}
+
+#[test]
+fn fitness_pipeline_runs_over_real_tcp_sockets() {
+    // Same application, but every cross-device hop (phone → desktop frame,
+    // desktop → tv results, tv → phone completion signal) goes over real
+    // loopback TCP with the wire codec.
+    use videopipe::core::runtime::EdgeTransport;
+    let modules = fitness::module_registry(9);
+    let services = fitness::service_registry(9);
+    let runtime = LocalRuntime::deploy(
+        &fitness::videopipe_plan().unwrap(),
+        &modules,
+        &services,
+        RuntimeConfig {
+            fps: 60.0,
+            transport: EdgeTransport::Tcp,
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("deploy");
+    let report = runtime.run_until_deliveries(30, Duration::from_secs(120));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        report.metrics.frames_delivered >= 30,
+        "only {} frames over TCP",
+        report.metrics.frames_delivered
+    );
+    assert!(report.logs.iter().any(|l| l.contains("activity=")));
+}
+
+#[test]
+fn baseline_topology_also_runs_on_real_threads() {
+    let report = run_fitness_threaded(&fitness::baseline_plan().unwrap());
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(report.metrics.frames_delivered >= 30);
+}
+
+#[test]
+fn gesture_pipeline_toggles_the_light_on_real_threads() {
+    use std::sync::Arc;
+    use videopipe::apps::gesture;
+    use videopipe::apps::iot::IotHub;
+    use videopipe::media::motion::ExerciseKind;
+
+    let hub = Arc::new(IotHub::new());
+    let plan = gesture::videopipe_plan().unwrap();
+    let modules = gesture::module_registry(5, ExerciseKind::Clap, Arc::clone(&hub));
+    let services = gesture::service_registry(5);
+    let runtime = LocalRuntime::deploy(
+        &plan,
+        &modules,
+        &services,
+        RuntimeConfig {
+            fps: 60.0,
+            ..RuntimeConfig::default()
+        },
+    )
+    .expect("deploy");
+    // Enough frames for the 15-pose window plus the 3-label confirmation.
+    let report = runtime.run_until_deliveries(50, Duration::from_secs(120));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        hub.command_count() > 0,
+        "clapping should toggle the light; logs: {:?}",
+        report.logs.iter().take(10).collect::<Vec<_>>()
+    );
+    assert!(hub.light_on() || hub.command_count().is_multiple_of(2));
+}

@@ -1,0 +1,106 @@
+//! Failure injection: a misbehaving service must not wedge the pipeline —
+//! the runtime returns the frame's flow-control credit and keeps going
+//! (with one credit, a single leaked credit would deadlock everything,
+//! so this exercises the most fragile part of the §2.3 design).
+
+use std::sync::Arc;
+use std::time::Duration;
+use videopipe::apps::fitness;
+use videopipe::core::prelude::*;
+use videopipe::core::service::ChaosService;
+use videopipe::sim::{Scenario, SimProfile};
+
+fn chaotic_services(seed: u64, fail_every: u64) -> (ServiceRegistry, Arc<ChaosService>) {
+    let mut services = fitness::service_registry(seed);
+    let pose = services.get("pose_detector").expect("pose installed");
+    let chaos = Arc::new(ChaosService::new(pose, fail_every));
+    services.install(Arc::clone(&chaos) as Arc<dyn Service>);
+    (services, chaos)
+}
+
+#[test]
+fn sim_pipeline_survives_a_flaky_pose_service() {
+    let (services, chaos) = chaotic_services(4, 5); // every 5th detect fails
+    let mut scenario = Scenario::new(SimProfile::deterministic());
+    let handle = scenario
+        .add_pipeline(
+            &fitness::videopipe_plan().unwrap(),
+            &fitness::module_registry(4),
+            &services,
+            20.0,
+            1,
+        )
+        .unwrap();
+    let report = scenario.run(Duration::from_secs(20));
+
+    // Failures were recorded...
+    assert!(
+        !report.errors.is_empty(),
+        "injected faults should surface as errors"
+    );
+    assert!(report.errors.iter().all(|e| e.contains("injected fault")));
+    // ...but the pipeline never stalled: deliveries continued throughout.
+    let metrics = report.metrics(handle);
+    assert!(
+        metrics.frames_delivered > 100,
+        "pipeline wedged after failures: only {} delivered",
+        metrics.frames_delivered
+    );
+    // Roughly 1/5 of frames died at the pose stage.
+    let died = chaos.calls() / 5;
+    assert!(
+        metrics.frames_delivered + 2 * died > chaos.calls(),
+        "accounting off: {} delivered, {} calls",
+        metrics.frames_delivered,
+        chaos.calls()
+    );
+}
+
+#[test]
+fn threaded_pipeline_survives_a_flaky_pose_service() {
+    let (services, _chaos) = chaotic_services(4, 4);
+    let runtime = LocalRuntime::deploy(
+        &fitness::videopipe_plan().unwrap(),
+        &fitness::module_registry(4),
+        &services,
+        RuntimeConfig {
+            fps: 100.0,
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = runtime.run_until_deliveries(20, Duration::from_secs(30));
+    assert!(
+        report.metrics.frames_delivered >= 20,
+        "threaded pipeline wedged: {} delivered, errors {:?}",
+        report.metrics.frames_delivered,
+        report.errors.iter().take(3).collect::<Vec<_>>()
+    );
+    assert!(!report.errors.is_empty(), "faults should be reported");
+}
+
+#[test]
+fn every_frame_failing_still_returns_credits() {
+    // Worst case: the pose service never succeeds. No frame is ever
+    // delivered, but the source keeps getting its credit back (admissions
+    // continue), so a later service recovery would resume the pipeline.
+    let (services, chaos) = chaotic_services(4, 1);
+    let mut scenario = Scenario::new(SimProfile::deterministic());
+    let handle = scenario
+        .add_pipeline(
+            &fitness::videopipe_plan().unwrap(),
+            &fitness::module_registry(4),
+            &services,
+            20.0,
+            1,
+        )
+        .unwrap();
+    let report = scenario.run(Duration::from_secs(10));
+    let metrics = report.metrics(handle);
+    assert_eq!(metrics.frames_delivered, 0);
+    assert!(
+        chaos.calls() > 50,
+        "admissions should continue despite total service failure: {} calls",
+        chaos.calls()
+    );
+}
