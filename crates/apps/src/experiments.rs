@@ -159,9 +159,7 @@ pub struct SharedRun {
 /// # Errors
 ///
 /// Propagates deployment/simulation setup errors.
-pub fn run_fitness_and_gesture(
-    config: &ExperimentConfig,
-) -> Result<SharedRun, PipelineError> {
+pub fn run_fitness_and_gesture(config: &ExperimentConfig) -> Result<SharedRun, PipelineError> {
     let fitness_plan = fitness::videopipe_plan()?;
     let gesture_plan = gesture::plan_on_fitness_devices()?;
     let hub = Arc::new(IotHub::new());
@@ -249,7 +247,10 @@ mod tests {
             - vp.metrics.stages["pose_detection"].mean_ms();
         let rep_gap =
             bl.metrics.stages["rep_counter"].mean_ms() - vp.metrics.stages["rep_counter"].mean_ms();
-        assert!(pose_gap > rep_gap, "pose gap {pose_gap} vs rep gap {rep_gap}");
+        assert!(
+            pose_gap > rep_gap,
+            "pose gap {pose_gap} vs rep gap {rep_gap}"
+        );
     }
 
     #[test]

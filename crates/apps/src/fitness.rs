@@ -79,8 +79,7 @@ pub fn pipeline_spec() -> PipelineSpec {
 pub fn pipeline_spec_builder() -> PipelineSpec {
     PipelineSpec::new("fitness")
         .with_module(
-            ModuleSpec::new("video_streaming", "VideoStreamingModule")
-                .with_next("pose_detection"),
+            ModuleSpec::new("video_streaming", "VideoStreamingModule").with_next("pose_detection"),
         )
         .with_module(
             ModuleSpec::new("pose_detection", "PoseDetectionModule")

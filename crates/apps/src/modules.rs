@@ -107,7 +107,13 @@ impl Module for PoseDetectionModule {
         match resp.payload {
             Payload::Pose { pose, score } => {
                 for next in &self.nexts {
-                    ctx.call_module(next, Payload::Pose { pose: pose.clone(), score })?;
+                    ctx.call_module(
+                        next,
+                        Payload::Pose {
+                            pose: pose.clone(),
+                            score,
+                        },
+                    )?;
                 }
                 Ok(())
             }
@@ -159,7 +165,13 @@ impl Module for ActivityRecognitionModule {
             return Err(module_err("activity_recognition", "expected a pose"));
         };
         for target in &self.pose_targets {
-            ctx.call_module(target, Payload::Pose { pose: pose.clone(), score: 1.0 })?;
+            ctx.call_module(
+                target,
+                Payload::Pose {
+                    pose: pose.clone(),
+                    score: 1.0,
+                },
+            )?;
         }
         let features = self.window.push(pose);
         let label_payload = match features {
@@ -240,10 +252,8 @@ impl Module for RepCounterModule {
         };
         let reps = match &mut self.counter {
             Some(counter) => {
-                let resp = ctx.call_service(
-                    &self.service,
-                    rep_classify_request(counter.model(), &pose),
-                )?;
+                let resp =
+                    ctx.call_service(&self.service, rep_classify_request(counter.model(), &pose))?;
                 let Payload::Count(cluster) = resp.payload else {
                     return Err(module_err("rep_counter", "service returned non-count"));
                 };
@@ -562,7 +572,9 @@ mod tests {
         use videopipe_media::motion::{ExerciseKind, MotionClip};
         let mut ctx = StubCtx::new();
         let mut module = VideoStreamingModule::synthetic(
-            SourceConfig::new(30.0).with_resolution(64, 48).with_noise(0.0),
+            SourceConfig::new(30.0)
+                .with_resolution(64, 48)
+                .with_noise(0.0),
             MotionClip::new(ExerciseKind::Idle, 2.0),
             "pose",
         );

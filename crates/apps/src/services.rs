@@ -119,7 +119,10 @@ impl Service for ActivityClassifierService {
     ) -> Result<ServiceResponse, PipelineError> {
         let label = match &request.payload {
             Payload::Poses(window) => self.model.classify_window(window).ok_or_else(|| {
-                service_err(&self.name, format!("window must have 15 poses, got {}", window.len()))
+                service_err(
+                    &self.name,
+                    format!("window must have 15 poses, got {}", window.len()),
+                )
             })?,
             Payload::Vector(features) => self
                 .model
@@ -449,7 +452,10 @@ mod tests {
         let (store, id) = store_with_pose_frame();
         let svc = PoseDetectorService::new();
         let resp = svc
-            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .handle(
+                &ServiceRequest::new("detect", Payload::FrameRef(id)),
+                &store,
+            )
             .unwrap();
         match resp.payload {
             Payload::Pose { score, .. } => assert!(score > 0.5),
@@ -466,7 +472,10 @@ mod tests {
             .is_err());
         let ghost = videopipe_media::FrameId::from_u64(999);
         assert!(svc
-            .handle(&ServiceRequest::new("detect", Payload::FrameRef(ghost)), &store)
+            .handle(
+                &ServiceRequest::new("detect", Payload::FrameRef(ghost)),
+                &store
+            )
             .is_err());
     }
 
@@ -476,7 +485,10 @@ mod tests {
         let id = store.insert(videopipe_media::FrameBuf::new(32, 32).freeze(0, 0));
         let svc = PoseDetectorService::new();
         let resp = svc
-            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .handle(
+                &ServiceRequest::new("detect", Payload::FrameRef(id)),
+                &store,
+            )
             .unwrap();
         assert_eq!(resp.payload, Payload::Empty);
     }
@@ -597,14 +609,20 @@ mod tests {
         );
         let id = store.insert(frame);
         let objs = ObjectDetectorService::new()
-            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .handle(
+                &ServiceRequest::new("detect", Payload::FrameRef(id)),
+                &store,
+            )
             .unwrap();
         match objs.payload {
             Payload::Boxes(b) => assert_eq!(b.len(), 1),
             other => panic!("expected boxes, got {}", other.kind_name()),
         }
         let faces = FaceDetectorService::new()
-            .handle(&ServiceRequest::new("detect", Payload::FrameRef(id)), &store)
+            .handle(
+                &ServiceRequest::new("detect", Payload::FrameRef(id)),
+                &store,
+            )
             .unwrap();
         match faces.payload {
             Payload::Boxes(b) => assert_eq!(b.len(), 1),
@@ -622,7 +640,10 @@ mod tests {
         let store = FrameStore::new();
         let id = store.insert(renderer.render(&ExerciseKind::Idle.pose_at_phase(0.3), 0, 0));
         let resp = svc
-            .handle(&ServiceRequest::new("classify", Payload::FrameRef(id)), &store)
+            .handle(
+                &ServiceRequest::new("classify", Payload::FrameRef(id)),
+                &store,
+            )
             .unwrap();
         match resp.payload {
             Payload::Label { label, .. } => assert_eq!(label, "standing"),

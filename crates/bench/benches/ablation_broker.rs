@@ -23,10 +23,7 @@ use videopipe_net::{InprocHub, MsgReceiver, MsgSender, WireMessage};
 const MESSAGES: usize = 2_000;
 const PAYLOAD: usize = 28_000; // a camera-grade encoded frame
 
-fn measure<S: Fn(WireMessage)>(
-    rx: &dyn MsgReceiver,
-    send: S,
-) -> (Duration, Duration) {
+fn measure<S: Fn(WireMessage)>(rx: &dyn MsgReceiver, send: S) -> (Duration, Duration) {
     // Warm-up.
     for i in 0..100u64 {
         send(WireMessage::data("x", i, 0, Bytes::from(vec![0u8; 64])));
@@ -116,5 +113,8 @@ fn main() {
         "  [{}] broker dispatch costs dominate once persistence is modeled",
         if kafka_p50 > hop_p50 { "ok" } else { "FAIL" }
     );
-    println!("broker forwarded {} messages total", broker.forwarded() + broker_slow.forwarded());
+    println!(
+        "broker forwarded {} messages total",
+        broker.forwarded() + broker_slow.forwarded()
+    );
 }

@@ -42,7 +42,10 @@ fn main() {
         let mean = run.metrics.end_to_end.mean_ms();
         let p99 = run.metrics.end_to_end.quantile_ns(0.99) as f64 / 1e6;
         table.row([
-            format!("{credits}{}", if credits == 1 { " (paper design)" } else { "" }),
+            format!(
+                "{credits}{}",
+                if credits == 1 { " (paper design)" } else { "" }
+            ),
             f2(fps),
             ms(mean),
             ms(p99),

@@ -40,7 +40,10 @@ fn main() {
 
     let candidates: Vec<(&str, Placement)> = vec![
         ("VideoPipe (Fig. 4)", fitness::videopipe_placement()),
-        ("baseline: all on phone (Fig. 5)", fitness::baseline_placement()),
+        (
+            "baseline: all on phone (Fig. 5)",
+            fitness::baseline_placement(),
+        ),
         // Physically infeasible (the camera is on the phone, the screen on
         // the TV) but included to show what an unconstrained optimiser
         // would chase.
@@ -67,7 +70,11 @@ fn main() {
         let deployment = plan(&spec, &devices, placement).expect("valid placement");
         let modeled = estimate_latency(&deployment, &params) as f64 / 1e6;
         let run = run_fitness_placement(&config, placement).expect("simulated run");
-        assert!(run.report.errors.is_empty(), "{name}: {:?}", run.report.errors);
+        assert!(
+            run.report.errors.is_empty(),
+            "{name}: {:?}",
+            run.report.errors
+        );
         let sim_ms = run.metrics.end_to_end.mean_ms();
         table.row([
             name.to_string(),
@@ -116,7 +123,11 @@ fn main() {
     );
     println!(
         "  [{}] autoplace under camera/display pins reproduces the paper's hand placement",
-        if auto_placement == fitness::videopipe_placement() { "ok" } else { "FAIL" }
+        if auto_placement == fitness::videopipe_placement() {
+            "ok"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "  [{}] autoplace co-locates pose detection with its service on the desktop",

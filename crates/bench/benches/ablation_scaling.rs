@@ -76,8 +76,7 @@ fn main() {
     ]);
     let mut series = Vec::new();
     for instances in [1usize, 2, 3, 4] {
-        let profile =
-            SimProfile::calibrated().with_service_instances("pose_detector", instances);
+        let profile = SimProfile::calibrated().with_service_instances("pose_detector", instances);
         let (f, g, _, wait) = run_with(profile, false);
         table.row([
             format!("{instances}"),
@@ -115,7 +114,11 @@ fn main() {
     );
     println!(
         "  [{}] a second instance restores per-pipeline throughput ({:.2}/{:.2} -> {:.2}/{:.2})",
-        if f2_ + g2 > (f1 + g1) * 1.1 { "ok" } else { "FAIL" },
+        if f2_ + g2 > (f1 + g1) * 1.1 {
+            "ok"
+        } else {
+            "FAIL"
+        },
         f1,
         g1,
         f2_,

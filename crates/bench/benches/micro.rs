@@ -29,7 +29,9 @@ fn bench_image_codec(c: &mut Criterion) {
     group.bench_function("encode_320x240", |b| {
         b.iter(|| codec::encode(&frame, codec::Quality::default()))
     });
-    group.bench_function("decode_320x240", |b| b.iter(|| codec::decode(&encoded).unwrap()));
+    group.bench_function("decode_320x240", |b| {
+        b.iter(|| codec::decode(&encoded).unwrap())
+    });
     group.finish();
 }
 
@@ -47,7 +49,9 @@ fn bench_wire_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_codec");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
     group.bench_function("encode_28k", |b| b.iter(|| msg.encode().unwrap()));
-    group.bench_function("decode_28k", |b| b.iter(|| WireMessage::decode(&encoded).unwrap()));
+    group.bench_function("decode_28k", |b| {
+        b.iter(|| WireMessage::decode(&encoded).unwrap())
+    });
     group.finish();
 }
 
@@ -77,7 +81,9 @@ fn bench_kmeans(c: &mut Criterion) {
         b.iter(|| KMeans::new(2).fit(&samples).unwrap())
     });
     let model = KMeans::new(2).fit(&samples).unwrap();
-    c.bench_function("kmeans/predict_34d", |b| b.iter(|| model.predict(&samples[17])));
+    c.bench_function("kmeans/predict_34d", |b| {
+        b.iter(|| model.predict(&samples[17]))
+    });
 }
 
 fn bench_knn(c: &mut Criterion) {

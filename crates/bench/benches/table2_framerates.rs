@@ -8,9 +8,7 @@
 //! Run with `cargo bench -p videopipe-bench --bench table2_framerates`.
 
 use std::time::Duration;
-use videopipe_apps::experiments::{
-    run_fitness, run_fitness_and_gesture, Arch, ExperimentConfig,
-};
+use videopipe_apps::experiments::{run_fitness, run_fitness_and_gesture, Arch, ExperimentConfig};
 use videopipe_bench::{banner, f2, Table};
 
 /// One row of the paper's Table 2: source FPS, VideoPipe, baseline, and
@@ -52,7 +50,11 @@ fn main() {
 
         let two = paper_two.map(|_| {
             let shared = run_fitness_and_gesture(&config).expect("shared run");
-            assert!(shared.report.errors.is_empty(), "{:?}", shared.report.errors);
+            assert!(
+                shared.report.errors.is_empty(),
+                "{:?}",
+                shared.report.errors
+            );
             (shared.fitness.fps(), shared.gesture.fps())
         });
 
@@ -93,7 +95,11 @@ fn main() {
         .fps();
     println!(
         "  [{}] at source 5 FPS both track the source (~4.5; got {:.2})",
-        if (4.0..5.1).contains(&low) { "ok" } else { "FAIL" },
+        if (4.0..5.1).contains(&low) {
+            "ok"
+        } else {
+            "FAIL"
+        },
         low
     );
     let shared20 = run_fitness_and_gesture(&base.clone().with_fps(20.0)).unwrap();
@@ -128,7 +134,9 @@ fn main() {
             "  shared pose pool at 20 FPS: {} requests, mean wait {:.1} ms, utilisation {:.0}%",
             pool.stats.requests,
             pool.stats.mean_wait().as_secs_f64() * 1e3,
-            pool.stats.utilization(shared20.report.duration, pool.instances) * 100.0
+            pool.stats
+                .utilization(shared20.report.duration, pool.instances)
+                * 100.0
         );
     }
 }

@@ -79,35 +79,59 @@ fn lex(input: &str) -> Result<Vec<Spanned>, PipelineError> {
                 }
             }
             '{' => {
-                tokens.push(Spanned { token: Token::LBrace, line });
+                tokens.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
                 chars.next();
             }
             '}' => {
-                tokens.push(Spanned { token: Token::RBrace, line });
+                tokens.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
                 chars.next();
             }
             '[' => {
-                tokens.push(Spanned { token: Token::LBracket, line });
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    line,
+                });
                 chars.next();
             }
             ']' => {
-                tokens.push(Spanned { token: Token::RBracket, line });
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    line,
+                });
                 chars.next();
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, line });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
                 chars.next();
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, line });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
                 chars.next();
             }
             ':' => {
-                tokens.push(Spanned { token: Token::Colon, line });
+                tokens.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
                 chars.next();
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, line });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
                 chars.next();
             }
             '\'' | '"' => {
@@ -128,7 +152,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, PipelineError> {
                 if !closed {
                     return Err(err(line, "unterminated string"));
                 }
-                tokens.push(Spanned { token: Token::Str(s), line });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    line,
+                });
             }
             c if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' => {
                 let mut s = String::new();
@@ -140,7 +167,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, PipelineError> {
                         break;
                     }
                 }
-                tokens.push(Spanned { token: Token::Ident(s), line });
+                tokens.push(Spanned {
+                    token: Token::Ident(s),
+                    line,
+                });
             }
             other => return Err(err(line, format!("unexpected character {other:?}"))),
         }
@@ -345,9 +375,9 @@ fn parse_module(parser: &mut Parser) -> Result<ModuleSpec, PipelineError> {
                     let first = endpoints
                         .first()
                         .ok_or_else(|| err(line, "endpoint list is empty"))?;
-                    let parsed = first.parse().map_err(|e| {
-                        err(line, format!("invalid endpoint {first:?}: {e}"))
-                    })?;
+                    let parsed = first
+                        .parse()
+                        .map_err(|e| err(line, format!("invalid endpoint {first:?}: {e}")))?;
                     endpoint = Some(parsed);
                 }
                 "next_module" | "next_modules" => {
@@ -454,8 +484,7 @@ modules : [
 
     #[test]
     fn colon_style_include() {
-        let spec =
-            parse("modules: [ { name: a include: \"./X.js\" } ]").unwrap();
+        let spec = parse("modules: [ { name: a include: \"./X.js\" } ]").unwrap();
         assert_eq!(spec.modules[0].include, "X");
     }
 
@@ -488,9 +517,7 @@ modules : [
 
     #[test]
     fn rejects_bad_endpoint() {
-        let result = parse(
-            "modules: [ { name: a include(\"A.js\") endpoint: [\"bogus://x\"] } ]",
-        );
+        let result = parse("modules: [ { name: a include(\"A.js\") endpoint: [\"bogus://x\"] } ]");
         assert!(result.is_err());
     }
 

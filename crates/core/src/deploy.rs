@@ -348,7 +348,8 @@ impl Default for CostParams {
 impl CostParams {
     /// One-way transfer time for `bytes` over the modeled link.
     pub fn link_time_ns(&self, bytes: usize) -> u64 {
-        self.link_latency_ns + (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.link_bandwidth_bps
+        self.link_latency_ns
+            + (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.link_bandwidth_bps
     }
 
     fn module_cost(&self, module: &str) -> u64 {
@@ -416,15 +417,8 @@ pub fn estimate_latency(plan: &DeploymentPlan, params: &CostParams) -> u64 {
         best = best.max(total);
         if let Some(spec) = plan.pipeline.module(name) {
             for next in &spec.next_modules {
-                let edge = plan
-                    .edges
-                    .iter()
-                    .find(|e| &e.from == name && e.to == *next);
-                let carries_frame = plan
-                    .pipeline
-                    .sources()
-                    .iter()
-                    .any(|s| s.name == *name);
+                let edge = plan.edges.iter().find(|e| &e.from == name && e.to == *next);
+                let carries_frame = plan.pipeline.sources().iter().any(|s| s.name == *name);
                 let edge_cost = match edge {
                     Some(e) if e.cross_device => {
                         let bytes = if carries_frame {
@@ -548,9 +542,8 @@ fn autoplace_impl(
             let mut i = 0;
             loop {
                 if i == indices.len() {
-                    return best.ok_or_else(|| {
-                        PipelineError::Deploy("no valid placement exists".into())
-                    });
+                    return best
+                        .ok_or_else(|| PipelineError::Deploy("no valid placement exists".into()));
                 }
                 indices[i] += 1;
                 if indices[i] < devices.len() {
@@ -734,8 +727,7 @@ mod tests {
         params
             .service_cost_ns
             .insert("pose_detector".into(), 170_000_000);
-        let (placement, _) =
-            autoplace_with_limit(&fitness_spec(), &devices(), &params, 1).unwrap();
+        let (placement, _) = autoplace_with_limit(&fitness_spec(), &devices(), &params, 1).unwrap();
         // Greedy must still produce a valid plan.
         assert!(plan(&fitness_spec(), &devices(), &placement).is_ok());
     }
@@ -749,8 +741,7 @@ mod tests {
         // Without pins the optimiser would park everything on the fast
         // desktop; pinning the camera to the phone forces realism.
         let pins = Placement::new().assign("video", "phone");
-        let (placement, _) =
-            autoplace_pinned(&fitness_spec(), &devices(), &params, &pins).unwrap();
+        let (placement, _) = autoplace_pinned(&fitness_spec(), &devices(), &params, &pins).unwrap();
         assert_eq!(placement.device_for("video"), Some("phone"));
         assert_eq!(placement.device_for("pose"), Some("desktop"));
         // Pinning an unknown module errors.

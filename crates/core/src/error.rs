@@ -1,5 +1,6 @@
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 use videopipe_media::MediaError;
 use videopipe_net::NetError;
 
@@ -32,6 +33,20 @@ pub enum PipelineError {
         /// Failure description.
         reason: String,
     },
+    /// A service call exceeded its per-call deadline (distinct from the
+    /// service itself failing the request).
+    Timeout {
+        /// Service name.
+        service: String,
+        /// How long the caller waited before giving up.
+        elapsed: Duration,
+    },
+    /// A service call was rejected by an open circuit breaker without
+    /// reaching the service.
+    CircuitOpen {
+        /// Service name.
+        service: String,
+    },
     /// A module handler failed.
     Module {
         /// Module name.
@@ -62,6 +77,12 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Service { service, reason } => {
                 write!(f, "service {service:?} failed: {reason}")
+            }
+            PipelineError::Timeout { service, elapsed } => {
+                write!(f, "service {service:?} timed out after {elapsed:?}")
+            }
+            PipelineError::CircuitOpen { service } => {
+                write!(f, "service {service:?} circuit breaker is open")
             }
             PipelineError::Module { module, reason } => {
                 write!(f, "module {module:?} failed: {reason}")
@@ -116,6 +137,13 @@ mod tests {
             PipelineError::Service {
                 service: "s".into(),
                 reason: "r".into(),
+            },
+            PipelineError::Timeout {
+                service: "s".into(),
+                elapsed: Duration::from_millis(10),
+            },
+            PipelineError::CircuitOpen {
+                service: "s".into(),
             },
             PipelineError::Module {
                 module: "m".into(),

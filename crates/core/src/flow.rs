@@ -19,6 +19,7 @@ pub struct CreditController {
     admitted: u64,
     dropped: u64,
     completed: u64,
+    faulted: u64,
 }
 
 impl CreditController {
@@ -40,6 +41,7 @@ impl CreditController {
             admitted: 0,
             dropped: 0,
             completed: 0,
+            faulted: 0,
         }
     }
 
@@ -69,6 +71,22 @@ impl CreditController {
         }
     }
 
+    /// Reclaims the credit of a frame that died mid-pipeline (module error,
+    /// panic, abandoned service call or expired credit lease) instead of
+    /// completing. Keeping the error path separate from [`complete`]
+    /// preserves the invariant `admitted == completed + faulted +
+    /// in_flight`, which the runtime uses to prove no credit leaked.
+    ///
+    /// Saturates at zero like [`complete`].
+    ///
+    /// [`complete`]: CreditController::complete
+    pub fn fault(&mut self) {
+        if self.in_flight > 0 {
+            self.in_flight -= 1;
+            self.faulted += 1;
+        }
+    }
+
     /// Frames currently inside the pipeline.
     pub fn in_flight(&self) -> u32 {
         self.in_flight
@@ -92,6 +110,11 @@ impl CreditController {
     /// Frames whose completion signal has returned.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Frames whose credit was reclaimed through the error path.
+    pub fn faulted(&self) -> u64 {
+        self.faulted
     }
 }
 
@@ -195,17 +218,42 @@ mod tests {
     #[test]
     fn invariant_in_flight_bounded() {
         // in_flight never exceeds credits, and admitted = completed +
-        // in_flight always holds.
+        // faulted + in_flight always holds.
         let mut fc = CreditController::new(2);
         for i in 0..100u32 {
-            if i % 3 == 0 {
-                fc.complete();
-            } else {
-                fc.try_admit();
+            match i % 4 {
+                0 => fc.complete(),
+                3 => fc.fault(),
+                _ => {
+                    fc.try_admit();
+                }
             }
             assert!(fc.in_flight() <= fc.credits());
-            assert_eq!(fc.admitted(), fc.completed() + u64::from(fc.in_flight()));
+            assert_eq!(
+                fc.admitted(),
+                fc.completed() + fc.faulted() + u64::from(fc.in_flight())
+            );
         }
+    }
+
+    #[test]
+    fn fault_returns_credit_without_counting_completion() {
+        let mut fc = CreditController::paper_default();
+        assert!(fc.try_admit());
+        fc.fault();
+        assert_eq!(fc.in_flight(), 0);
+        assert_eq!(fc.completed(), 0);
+        assert_eq!(fc.faulted(), 1);
+        // The credit is usable again.
+        assert!(fc.try_admit());
+    }
+
+    #[test]
+    fn spurious_fault_is_tolerated() {
+        let mut fc = CreditController::new(1);
+        fc.fault();
+        assert_eq!(fc.faulted(), 0);
+        assert!(fc.try_admit());
     }
 
     #[test]

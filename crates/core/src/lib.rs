@@ -20,6 +20,9 @@
 //! * [`deploy`] — devices, placements, service-binding resolution
 //!   (co-located vs remote), and latency-model-driven automatic placement.
 //! * [`flow`] — the no-queue, drop-at-source flow control (§2.3).
+//! * [`resilience`] — retry policies, per-service circuit breakers and
+//!   degradation policies that keep the §2.3 design from wedging when
+//!   services fail.
 //! * [`metrics`] — per-stage latency histograms and FPS accounting (the
 //!   exact quantities of Fig. 6 and Table 2).
 //! * [`runtime`] — the threaded local runtime executing deployments for
@@ -51,6 +54,7 @@ pub mod flow;
 pub mod message;
 pub mod metrics;
 pub mod module;
+pub mod resilience;
 pub mod runtime;
 pub mod service;
 pub mod spec;
@@ -65,6 +69,7 @@ pub mod prelude {
     pub use crate::message::{Header, Message, Payload};
     pub use crate::metrics::PipelineMetrics;
     pub use crate::module::{Event, Module, ModuleCtx, ModuleRegistry};
+    pub use crate::resilience::{DegradationPolicy, ResilienceConfig, RetryPolicy};
     pub use crate::runtime::{LocalRuntime, RuntimeConfig};
     pub use crate::service::{Service, ServiceRegistry, ServiceRequest, ServiceResponse};
     pub use crate::spec::{ModuleSpec, PipelineSpec};

@@ -50,6 +50,10 @@ pub enum Payload {
     Count(u64),
     /// Axis-aligned boxes `(min_x, min_y, max_x, max_y)`.
     Boxes(Vec<(f32, f32, f32, f32)>),
+    /// A failure description travelling in place of a result (e.g. a
+    /// service executor reporting a failed request back to its caller, so
+    /// the caller can retry instead of timing out).
+    Error(String),
 }
 
 impl Payload {
@@ -70,6 +74,7 @@ impl Payload {
             Payload::Label { label, .. } => 5 + label.len() + 4,
             Payload::Count(_) => 9,
             Payload::Boxes(b) => 5 + b.len() * 16,
+            Payload::Error(s) => 5 + s.len(),
         }
     }
 
@@ -88,6 +93,7 @@ impl Payload {
             Payload::Label { .. } => "label",
             Payload::Count(_) => "count",
             Payload::Boxes(_) => "boxes",
+            Payload::Error(_) => "error",
         }
     }
 
@@ -161,6 +167,10 @@ impl Payload {
                     buf.put_f32(*c);
                     buf.put_f32(*d);
                 }
+            }
+            Payload::Error(s) => {
+                buf.put_u8(12);
+                put_str(&mut buf, s);
             }
         }
         buf.freeze()
@@ -280,6 +290,7 @@ impl Payload {
                 }
                 Payload::Boxes(boxes)
             }
+            12 => Payload::Error(get_str(buf)?),
             _ => return Err(PipelineError::BadPayload("unknown payload tag")),
         })
     }
@@ -373,6 +384,7 @@ mod tests {
             },
             Payload::Count(12345),
             Payload::Boxes(vec![(0.1, 0.2, 0.3, 0.4), (0.5, 0.6, 0.7, 0.8)]),
+            Payload::Error("service blew up".into()),
         ]
     }
 

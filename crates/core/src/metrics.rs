@@ -153,6 +153,17 @@ pub struct PipelineMetrics {
     pub frames_dropped: u64,
     /// Camera ticks offered by the source.
     pub frames_offered: u64,
+    /// Frames admitted into the pipeline by flow control.
+    pub frames_admitted: u64,
+    /// Frames that died mid-pipeline (module error, panic or abandoned
+    /// service call) and had their flow-control credit reclaimed.
+    pub frames_faulted: u64,
+    /// Frames still in flight when the run stopped. Credit accounting is
+    /// leak-free iff `frames_admitted == frames_delivered + frames_faulted
+    /// + in_flight_at_end` (see [`credits_balanced`]).
+    ///
+    /// [`credits_balanced`]: PipelineMetrics::credits_balanced
+    pub in_flight_at_end: u32,
     /// Pipeline-clock time of the first delivery (ns).
     pub first_delivery_ns: u64,
     /// Pipeline-clock time of the last delivery (ns).
@@ -169,10 +180,7 @@ impl PipelineMetrics {
 
     /// Records a stage latency sample.
     pub fn record_stage(&mut self, stage: &str, ns: u64) {
-        self.stages
-            .entry(stage.to_string())
-            .or_default()
-            .record(ns);
+        self.stages.entry(stage.to_string()).or_default().record(ns);
     }
 
     /// Records an end-to-end delivery at pipeline time `now_ns` with the
@@ -198,6 +206,25 @@ impl PipelineMetrics {
             return 0.0;
         }
         (self.frames_delivered - 1) as f64 * 1e9 / span_ns as f64
+    }
+
+    /// Fraction of admitted frames that were delivered end-to-end (1.0 when
+    /// nothing was admitted). The chaos tests assert this stays ≥ 0.9 under
+    /// fault injection.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.frames_admitted == 0 {
+            return 1.0;
+        }
+        self.frames_delivered as f64 / self.frames_admitted as f64
+    }
+
+    /// Whether flow-control credit accounting balances: every admitted
+    /// frame either completed, faulted, or was still in flight at the end.
+    /// A `false` here means a credit leaked — the failure mode that wedges
+    /// the paper's §2.3 design.
+    pub fn credits_balanced(&self) -> bool {
+        self.frames_admitted
+            == self.frames_delivered + self.frames_faulted + u64::from(self.in_flight_at_end)
     }
 
     /// Fraction of offered camera frames that were dropped at the source.
@@ -246,6 +273,9 @@ impl PipelineMetrics {
         self.frames_delivered += other.frames_delivered;
         self.frames_dropped += other.frames_dropped;
         self.frames_offered += other.frames_offered;
+        self.frames_admitted += other.frames_admitted;
+        self.frames_faulted += other.frames_faulted;
+        self.in_flight_at_end += other.in_flight_at_end;
         self.last_delivery_ns = self.last_delivery_ns.max(other.last_delivery_ns);
         self.run_duration_ns = self.run_duration_ns.max(other.run_duration_ns);
     }
@@ -375,6 +405,21 @@ mod tests {
         assert_eq!(a.frames_delivered, 2);
         assert_eq!(a.frames_offered, 4);
         assert_eq!(a.frames_dropped, 1);
+    }
+
+    #[test]
+    fn credit_accounting() {
+        let mut m = PipelineMetrics::new();
+        assert!(m.credits_balanced());
+        assert_eq!(m.delivery_ratio(), 1.0);
+        m.frames_admitted = 10;
+        m.frames_delivered = 8;
+        m.frames_faulted = 1;
+        m.in_flight_at_end = 1;
+        assert!(m.credits_balanced());
+        assert!((m.delivery_ratio() - 0.8).abs() < 1e-9);
+        m.frames_faulted = 0; // one credit unaccounted for → leak
+        assert!(!m.credits_balanced());
     }
 
     #[test]

@@ -113,10 +113,14 @@ pub trait ModuleCtx {
     fn log(&mut self, text: &str);
 }
 
+/// A shareable module constructor. The runtime keeps the factory of every
+/// deployed module so supervision can re-instantiate one that panicked.
+pub type ModuleFactory = std::sync::Arc<dyn Fn() -> Box<dyn Module> + Send + Sync>;
+
 /// A registry mapping `include` keys from the pipeline configuration to
 /// module constructors (the analogue of loading `./PoseDetectorModule.js`).
 pub struct ModuleRegistry {
-    factories: std::collections::HashMap<String, Box<dyn Fn() -> Box<dyn Module> + Send + Sync>>,
+    factories: std::collections::HashMap<String, ModuleFactory>,
 }
 
 impl ModuleRegistry {
@@ -133,7 +137,8 @@ impl ModuleRegistry {
     where
         F: Fn() -> Box<dyn Module> + Send + Sync + 'static,
     {
-        self.factories.insert(name.to_string(), Box::new(factory));
+        self.factories
+            .insert(name.to_string(), std::sync::Arc::new(factory));
     }
 
     /// Instantiates the module registered under `name`.
@@ -145,6 +150,19 @@ impl ModuleRegistry {
         self.factories
             .get(name)
             .map(|f| f())
+            .ok_or_else(|| PipelineError::Deploy(format!("unknown module include {name:?}")))
+    }
+
+    /// Returns the factory registered under `name`, for runtimes that need
+    /// to rebuild a module instance later (supervision restarts).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Deploy`] when the name is unknown.
+    pub fn factory(&self, name: &str) -> Result<ModuleFactory, PipelineError> {
+        self.factories
+            .get(name)
+            .cloned()
             .ok_or_else(|| PipelineError::Deploy(format!("unknown module include {name:?}")))
     }
 
@@ -195,6 +213,9 @@ mod tests {
         assert!(reg.instantiate("noop").is_ok());
         assert!(reg.instantiate("ghost").is_err());
         assert_eq!(reg.names(), vec!["noop"]);
+        let factory = reg.factory("noop").unwrap();
+        let _fresh: Box<dyn Module> = factory();
+        assert!(reg.factory("ghost").is_err());
     }
 
     #[test]

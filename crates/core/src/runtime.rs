@@ -18,10 +18,14 @@ use crate::error::PipelineError;
 use crate::flow::{CreditController, SourcePacer};
 use crate::message::{Header, Message, Payload};
 use crate::metrics::PipelineMetrics;
-use crate::module::{Event, Module, ModuleCtx, ModuleRegistry};
+use crate::module::{Event, Module, ModuleCtx, ModuleFactory, ModuleRegistry};
+use crate::resilience::{
+    seed_for, BreakerSnapshot, CircuitBreaker, DegradationPolicy, ResilienceConfig, SeededJitter,
+};
 use crate::service::{ServiceRegistry, ServiceRequest, ServiceResponse};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,6 +62,10 @@ pub struct RuntimeConfig {
     /// [`TelemetrySnapshot`](crate::telemetry::TelemetrySnapshot)s at this
     /// interval on the `telemetry/<pipeline>` topic.
     pub telemetry_interval: Option<Duration>,
+    /// Resilience behaviour: retries, per-call deadlines, circuit breakers,
+    /// degradation and the flow-control credit lease. The default disables
+    /// everything but the (30 s) deadline.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -69,6 +77,7 @@ impl Default for RuntimeConfig {
             codec_quality: codec::Quality::default(),
             transport: EdgeTransport::Inproc,
             telemetry_interval: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -117,6 +126,11 @@ pub struct RunReport {
     pub logs: Vec<String>,
     /// Handler errors observed (pipeline kept running).
     pub errors: Vec<String>,
+    /// Module instances restarted by supervision after a panic.
+    pub restarts: u64,
+    /// Final circuit-breaker counters, keyed by service name (empty unless
+    /// [`ResilienceConfig::breaker_failure_threshold`] is set).
+    pub breakers: HashMap<String, BreakerSnapshot>,
 }
 
 /// Shared state for one running pipeline.
@@ -131,6 +145,8 @@ struct Shared {
     epoch: Instant,
     deliveries: AtomicU64,
     config: RuntimeConfig,
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    restarts: AtomicU64,
 }
 
 impl Shared {
@@ -172,6 +188,11 @@ struct LocalCtx {
     header: Header,
     corr: u64,
     reply_rx: videopipe_net::InprocReceiver,
+    /// Last successful response per service, for
+    /// [`DegradationPolicy::LastKnownGood`].
+    lkg: HashMap<String, ServiceResponse>,
+    /// Deterministic per-module retry jitter stream.
+    jitter: SeededJitter,
 }
 
 impl LocalCtx {
@@ -188,32 +209,16 @@ impl LocalCtx {
             std::thread::sleep(modeled.mul_f64(scale));
         }
     }
-}
 
-impl ModuleCtx for LocalCtx {
-    fn call_service(
+    /// One request/response exchange with a service executor, bounded by
+    /// the configured per-call deadline.
+    fn attempt_service_call(
         &mut self,
         service: &str,
-        mut request: ServiceRequest,
+        channel: &str,
+        remote: bool,
+        bytes: bytes::Bytes,
     ) -> Result<ServiceResponse, PipelineError> {
-        let (channel, remote) = self
-            .wiring
-            .services
-            .get(service)
-            .cloned()
-            .ok_or_else(|| PipelineError::ServiceUnavailable {
-                module: self.wiring.name.clone(),
-                service: service.to_string(),
-            })?;
-        // A frame reference cannot leave its device: encode for remote calls.
-        if remote {
-            if let Payload::FrameRef(id) = request.payload {
-                let frame = self.store().get(id)?;
-                let encoded = codec::encode(&frame, self.shared.config.codec_quality);
-                request.payload = Payload::EncodedFrame(encoded);
-            }
-        }
-        let bytes = request.encode();
         if remote {
             // Emulated request transfer (sender-side: the module blocks on
             // the round trip anyway).
@@ -226,48 +231,163 @@ impl ModuleCtx for LocalCtx {
         self.shared.router.send_from(
             &self.wiring.device,
             WireMessage::request(
-                channel.clone(),
+                channel.to_string(),
                 reply_chan(&self.pipeline, &self.wiring.name),
                 corr_id,
                 bytes,
             ),
         )?;
-        let deadline = Instant::now() + Duration::from_secs(30);
+        let started = Instant::now();
+        let deadline = started + self.shared.config.resilience.service_call_timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return Err(PipelineError::Service {
+                return Err(PipelineError::Timeout {
                     service: service.to_string(),
-                    reason: "request timed out".into(),
+                    elapsed: started.elapsed(),
                 });
             }
-            match self.reply_rx.recv_timeout(remaining) {
+            // Wait in short slices so shutdown stays responsive even under
+            // a long per-call deadline.
+            match self.reply_rx.recv_timeout(remaining.min(POLL)) {
                 Ok(msg) if msg.kind == MessageKind::Response && msg.corr_id == corr_id => {
                     if remote {
                         self.emulate(Duration::from_micros(
                             2_500 + msg.payload.len() as u64 * 8 / 100,
                         ));
                     }
-                    return ServiceResponse::decode(&msg.payload);
+                    let resp = ServiceResponse::decode(&msg.payload)?;
+                    // Executors answer failures with a typed error payload.
+                    if let Payload::Error(reason) = &resp.payload {
+                        return Err(PipelineError::Service {
+                            service: service.to_string(),
+                            reason: reason.clone(),
+                        });
+                    }
+                    return Ok(resp);
                 }
+                // Stale responses to timed-out attempts carry old corr ids.
                 Ok(_stale) => continue,
-                Err(e) => return Err(e.into()),
+                Err(_) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        return Err(PipelineError::Shutdown);
+                    }
+                }
+            }
+        }
+    }
+
+    fn breaker_allows(&mut self, service: &str) -> bool {
+        let now_ns = self.shared.now_ns();
+        let mut breakers = self.shared.breakers.lock();
+        breakers
+            .entry(service.to_string())
+            .or_insert_with(|| self.shared.config.resilience.make_breaker())
+            .allow(now_ns)
+    }
+
+    fn breaker_record(&mut self, service: &str, success: bool) {
+        let now_ns = self.shared.now_ns();
+        let mut breakers = self.shared.breakers.lock();
+        let breaker = breakers
+            .entry(service.to_string())
+            .or_insert_with(|| self.shared.config.resilience.make_breaker());
+        if success {
+            breaker.record_success();
+        } else {
+            breaker.record_failure(now_ns);
+        }
+    }
+
+    /// Applies the degradation policy once a call has been abandoned.
+    fn degrade(
+        &mut self,
+        service: &str,
+        err: PipelineError,
+    ) -> Result<ServiceResponse, PipelineError> {
+        if self.shared.config.resilience.degradation == DegradationPolicy::LastKnownGood {
+            if let Some(cached) = self.lkg.get(service) {
+                return Ok(cached.clone());
+            }
+        }
+        Err(err)
+    }
+}
+
+impl ModuleCtx for LocalCtx {
+    fn call_service(
+        &mut self,
+        service: &str,
+        mut request: ServiceRequest,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let (channel, remote) = self.wiring.services.get(service).cloned().ok_or_else(|| {
+            PipelineError::ServiceUnavailable {
+                module: self.wiring.name.clone(),
+                service: service.to_string(),
+            }
+        })?;
+        let resilience = self.shared.config.resilience.clone();
+        // Circuit breaker gate: fast-fail while the service's breaker is
+        // open so a dead service costs microseconds per frame, not a
+        // deadline per frame.
+        if resilience.breaker_enabled() && !self.breaker_allows(service) {
+            return self.degrade(
+                service,
+                PipelineError::CircuitOpen {
+                    service: service.to_string(),
+                },
+            );
+        }
+        // A frame reference cannot leave its device: encode for remote calls.
+        if remote {
+            if let Payload::FrameRef(id) = request.payload {
+                let frame = self.store().get(id)?;
+                let encoded = codec::encode(&frame, self.shared.config.codec_quality);
+                request.payload = Payload::EncodedFrame(encoded);
+            }
+        }
+        let bytes = request.encode();
+        let max_attempts = resilience.retry.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.attempt_service_call(service, &channel, remote, bytes.clone()) {
+                Ok(resp) => {
+                    if resilience.breaker_enabled() {
+                        self.breaker_record(service, true);
+                    }
+                    if resilience.degradation == DegradationPolicy::LastKnownGood {
+                        self.lkg.insert(service.to_string(), resp.clone());
+                    }
+                    return Ok(resp);
+                }
+                Err(PipelineError::Shutdown) => return Err(PipelineError::Shutdown),
+                Err(e) => {
+                    if resilience.breaker_enabled() {
+                        self.breaker_record(service, false);
+                    }
+                    if attempt >= max_attempts {
+                        return self.degrade(service, e);
+                    }
+                    let backoff = resilience.retry.backoff(attempt, &mut self.jitter);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        return Err(PipelineError::Shutdown);
+                    }
+                }
             }
         }
     }
 
     fn call_module(&mut self, target: &str, mut payload: Payload) -> Result<(), PipelineError> {
-        let (channel, cross_device) = self
-            .wiring
-            .nexts
-            .get(target)
-            .cloned()
-            .ok_or_else(|| {
-                PipelineError::Validation(format!(
-                    "module {:?} has no edge to {target:?}",
-                    self.wiring.name
-                ))
-            })?;
+        let (channel, cross_device) = self.wiring.nexts.get(target).cloned().ok_or_else(|| {
+            PipelineError::Validation(format!(
+                "module {:?} has no edge to {target:?}",
+                self.wiring.name
+            ))
+        })?;
         if cross_device {
             if let Payload::FrameRef(id) = payload {
                 let frame = self.store().get(id)?;
@@ -290,15 +410,18 @@ impl ModuleCtx for LocalCtx {
     }
 
     fn signal_source(&mut self) -> Result<(), PipelineError> {
-        self.shared.router.send_from(&self.wiring.device, WireMessage {
-            kind: MessageKind::Signal,
-            channel: fc_chan(&self.pipeline),
-            reply_to: String::new(),
-            corr_id: 0,
-            seq: self.header.frame_seq,
-            timestamp_ns: self.header.capture_ts_ns,
-            payload: bytes::Bytes::new(),
-        })?;
+        self.shared.router.send_from(
+            &self.wiring.device,
+            WireMessage {
+                kind: MessageKind::Signal,
+                channel: fc_chan(&self.pipeline),
+                reply_to: String::new(),
+                corr_id: 0,
+                seq: self.header.frame_seq,
+                timestamp_ns: self.header.capture_ts_ns,
+                payload: bytes::Bytes::new(),
+            },
+        )?;
         Ok(())
     }
 
@@ -390,20 +513,21 @@ impl LocalRuntime {
                     channel_device.insert(reply_chan(&pipeline, &m.name), device);
                 }
                 for b in &plan.service_bindings {
-                    channel_device
-                        .insert(svc_chan(&b.device, &b.service), b.device.clone());
+                    channel_device.insert(svc_chan(&b.device, &b.service), b.device.clone());
                 }
                 channel_device.insert(fc_chan(&pipeline), source_device.clone());
 
                 let mut tcp_peers = HashMap::new();
                 for d in &plan.devices {
-                    let listener =
-                        videopipe_net::tcp::TcpListenerHandle::bind("127.0.0.1:0")?;
+                    let listener = videopipe_net::tcp::TcpListenerHandle::bind("127.0.0.1:0")?;
                     let addr = format!("127.0.0.1:{}", listener.local_port());
                     let sender = videopipe_net::tcp::TcpSender::connect_retry(
                         &addr,
                         Duration::from_secs(5),
-                    )?;
+                    )?
+                    // Survive mid-stream disconnects: buffer and reconnect
+                    // with backoff instead of failing the pipeline edge.
+                    .with_reconnect(videopipe_net::tcp::ReconnectPolicy::default());
                     tcp_peers.insert(d.name.clone(), Arc::new(sender));
                     listeners.push(listener);
                 }
@@ -426,6 +550,8 @@ impl LocalRuntime {
             epoch: Instant::now(),
             deliveries: AtomicU64::new(0),
             config: config.clone(),
+            breakers: Mutex::new(HashMap::new()),
+            restarts: AtomicU64::new(0),
         });
         let mut threads = Vec::new();
 
@@ -481,9 +607,7 @@ impl LocalRuntime {
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("svc-{device}-{}-{ex}", image.name()))
-                        .spawn(move || {
-                            service_executor_loop(shared, inbox, image, device, speed)
-                        })
+                        .spawn(move || service_executor_loop(shared, inbox, image, device, speed))
                         .expect("spawn service executor"),
                 );
             }
@@ -516,11 +640,7 @@ impl LocalRuntime {
                 );
             }
             let mut svc_map = HashMap::new();
-            for b in plan
-                .service_bindings
-                .iter()
-                .filter(|b| b.module == m.name)
-            {
+            for b in plan.service_bindings.iter().filter(|b| b.module == m.name) {
                 svc_map.insert(
                     b.service.clone(),
                     (svc_chan(&b.device, &b.service), b.remote),
@@ -536,6 +656,7 @@ impl LocalRuntime {
             });
             let inbox = hub.bind(&mod_chan(&pipeline, &m.name))?;
             let reply_rx = hub.bind(&reply_chan(&pipeline, &m.name))?;
+            let factory = modules.factory(&m.include)?;
             let mut instance = modules.instantiate(&m.include)?;
             let shared2 = Arc::clone(&shared);
             let pipeline2 = pipeline.clone();
@@ -546,12 +667,16 @@ impl LocalRuntime {
                 header: Header::default(),
                 corr: 0,
                 reply_rx,
+                lkg: HashMap::new(),
+                jitter: SeededJitter::new(seed_for(config.resilience.seed, &m.name)),
             };
             instance.init(&mut ctx)?;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("mod-{}", m.name))
-                    .spawn(move || module_loop(shared2, inbox, instance, ctx, pipeline2, wiring))
+                    .spawn(move || {
+                        module_loop(shared2, inbox, instance, ctx, pipeline2, wiring, factory)
+                    })
                     .expect("spawn module thread"),
             );
         }
@@ -628,6 +753,25 @@ impl LocalRuntime {
         self.shared.deliveries.load(Ordering::Relaxed)
     }
 
+    /// Module instances restarted by supervision so far.
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Chaos hook: severs every cross-device TCP connection mid-stream, as
+    /// if the Wi-Fi link blipped (`Tcp` transport only; a no-op in `Inproc`
+    /// mode). Senders carry a reconnect policy, so traffic buffers and
+    /// re-establishes transparently. Returns the number of connections
+    /// severed.
+    pub fn inject_tcp_disconnect(&self) -> usize {
+        let mut severed = 0;
+        for peer in self.shared.router.tcp_peers.values() {
+            peer.inject_disconnect();
+            severed += 1;
+        }
+        severed
+    }
+
     /// Runs until `wall` elapses, then stops and reports.
     pub fn run_for(self, wall: Duration) -> RunReport {
         std::thread::sleep(wall);
@@ -652,10 +796,19 @@ impl LocalRuntime {
         let run_duration_ns = self.shared.now_ns();
         let mut metrics = self.shared.metrics.lock().clone();
         metrics.run_duration_ns = run_duration_ns;
+        let breakers = self
+            .shared
+            .breakers
+            .lock()
+            .iter()
+            .map(|(name, b)| (name.clone(), b.snapshot()))
+            .collect();
         RunReport {
             metrics,
             logs: std::mem::take(&mut *self.shared.logs.lock()),
             errors: std::mem::take(&mut *self.shared.errors.lock()),
+            restarts: self.shared.restarts.load(Ordering::Relaxed),
+            breakers,
         }
     }
 }
@@ -715,7 +868,15 @@ fn service_executor_loop(
                     let cost = image.cost(&request).for_bytes(msg.payload.len());
                     std::thread::sleep(cost.mul_f64(shared.config.time_scale / speed.max(1e-6)));
                 }
-                image.handle(&request, store)
+                // Supervise the handler: a panicking service (a crashed
+                // container) must not take the executor thread with it.
+                match catch_unwind(AssertUnwindSafe(|| image.handle(&request, store))) {
+                    Ok(result) => result,
+                    Err(panic) => Err(PipelineError::Service {
+                        service: image.name().to_string(),
+                        reason: format!("panicked: {}", panic_message(panic.as_ref())),
+                    }),
+                }
             }
             Err(e) => Err(e),
         };
@@ -730,16 +891,28 @@ fn service_executor_loop(
                     .errors
                     .lock()
                     .push(format!("service {}: {e}", image.name()));
-                // Reply with Empty so the caller doesn't time out.
+                // Reply with a typed error payload so the caller fails fast
+                // and can retry or degrade instead of timing out.
                 let _ = shared.router.send_from(
                     &device,
                     WireMessage::response_to(
                         &msg,
-                        ServiceResponse::new(Payload::Empty).encode(),
+                        ServiceResponse::new(Payload::Error(e.to_string())).encode(),
                     ),
                 );
             }
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
     }
 }
 
@@ -751,6 +924,7 @@ fn module_loop(
     mut ctx: LocalCtx,
     _pipeline: String,
     wiring: Arc<ModuleWiring>,
+    factory: ModuleFactory,
 ) {
     while !shared.stop.load(Ordering::SeqCst) {
         let msg = match inbox.recv_timeout(POLL) {
@@ -798,7 +972,22 @@ fn module_loop(
         };
 
         let start = Instant::now();
-        let result = instance.on_event(event, &mut ctx);
+        let result = match catch_unwind(AssertUnwindSafe(|| instance.on_event(event, &mut ctx))) {
+            Ok(result) => result,
+            Err(panic) => {
+                // Supervision: the instance may hold poisoned state, so
+                // replace it with a fresh one and keep the thread alive.
+                // The in-flight frame dies and returns its credit through
+                // the error path below.
+                instance = factory();
+                let _ = catch_unwind(AssertUnwindSafe(|| instance.init(&mut ctx)));
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                Err(PipelineError::Module {
+                    module: wiring.name.clone(),
+                    reason: format!("panicked: {}", panic_message(panic.as_ref())),
+                })
+            }
+        };
         let elapsed_ns = start.elapsed().as_nanos() as u64;
         {
             let mut metrics = shared.metrics.lock();
@@ -819,10 +1008,7 @@ fn module_loop(
                 if shared.stop.load(Ordering::SeqCst) {
                     continue;
                 }
-                shared
-                    .errors
-                    .lock()
-                    .push(format!("{}: {e}", wiring.name));
+                shared.errors.lock().push(format!("{}: {e}", wiring.name));
                 // The frame died here: return its credit so the pipeline
                 // keeps flowing. A Control-kind message distinguishes this
                 // from a real completion so it is not counted as delivered.
@@ -855,9 +1041,13 @@ fn pacer_loop(
     let mut controller = CreditController::new(config.credits);
     let interval = Duration::from_nanos(pacer.interval_ns());
     let epoch = Instant::now();
+    let lease = config.resilience.credit_timeout;
+    // Outstanding admissions by frame seq, for credit-lease expiry (only
+    // tracked when a lease is configured).
+    let mut outstanding: HashMap<u64, Instant> = HashMap::new();
     // Align pacer ticks to wall time.
     let mut next_tick = epoch;
-    while !shared.stop.load(Ordering::SeqCst) {
+    'run: while !shared.stop.load(Ordering::SeqCst) {
         // Drain completion signals until the next tick.
         loop {
             let now = Instant::now();
@@ -866,8 +1056,13 @@ fn pacer_loop(
             }
             let wait = (next_tick - now).min(POLL);
             if let Ok(msg) = fc_inbox.recv_timeout(wait) {
+                // In lease mode, only outstanding frames may return a
+                // credit: anything else is a late echo of an already
+                // expired lease, and honouring it would free a credit that
+                // belongs to a different frame.
+                let known = lease.is_none() || outstanding.remove(&msg.seq).is_some();
                 match msg.kind {
-                    MessageKind::Signal => {
+                    MessageKind::Signal if known => {
                         controller.complete();
                         let now_ns = shared.now_ns();
                         let latency = now_ns.saturating_sub(msg.timestamp_ns);
@@ -877,12 +1072,31 @@ fn pacer_loop(
                         shared.deliveries.fetch_add(1, Ordering::Relaxed);
                     }
                     // Error-path credit return: the frame died mid-pipeline.
-                    MessageKind::Control => controller.complete(),
+                    MessageKind::Control if known => controller.fault(),
                     _ => {}
                 }
             }
             if shared.stop.load(Ordering::SeqCst) {
-                return;
+                break 'run;
+            }
+        }
+        // Expire credit leases: a frame that produced no signal within the
+        // timeout (lost across a dead link, wedged beyond every deadline)
+        // has its credit reclaimed so the source cannot stall forever.
+        if let Some(timeout) = lease {
+            let now = Instant::now();
+            let expired: Vec<u64> = outstanding
+                .iter()
+                .filter(|(_, admitted_at)| now.duration_since(**admitted_at) > timeout)
+                .map(|(seq, _)| *seq)
+                .collect();
+            for seq in expired {
+                outstanding.remove(&seq);
+                controller.fault();
+                shared
+                    .errors
+                    .lock()
+                    .push(format!("pacer: credit lease expired for frame {seq}"));
             }
         }
         // Camera tick.
@@ -897,6 +1111,9 @@ fn pacer_loop(
             }
         }
         if admitted {
+            if lease.is_some() {
+                outstanding.insert(pacer.ticks(), Instant::now());
+            }
             let t_ns = shared.now_ns();
             for source in &sources {
                 let _ = shared.router.send_from(
@@ -914,6 +1131,12 @@ fn pacer_loop(
             }
         }
     }
+    // Final credit accounting: lets reports prove no credit leaked
+    // (admitted == delivered + faulted + in_flight).
+    let mut metrics = shared.metrics.lock();
+    metrics.frames_admitted = controller.admitted();
+    metrics.frames_faulted = controller.faulted();
+    metrics.in_flight_at_end = controller.in_flight();
 }
 
 #[cfg(test)]
@@ -1148,10 +1371,7 @@ mod tests {
         let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
         let report = runtime.run_for(Duration::from_millis(500));
         assert!(report.metrics.frames_delivered > 0);
-        assert!(
-            report.metrics.frames_offered
-                > report.metrics.frames_delivered
-        );
+        assert!(report.metrics.frames_offered > report.metrics.frames_delivered);
     }
 
     #[test]
@@ -1200,12 +1420,8 @@ mod tests {
         let plan = plan(&test_spec(), &devices, &placement).unwrap();
         let (_, services) = registries();
         let empty_modules = ModuleRegistry::new();
-        let result = LocalRuntime::deploy(
-            &plan,
-            &empty_modules,
-            &services,
-            RuntimeConfig::default(),
-        );
+        let result =
+            LocalRuntime::deploy(&plan, &empty_modules, &services, RuntimeConfig::default());
         assert!(result.is_err());
     }
 
@@ -1221,12 +1437,8 @@ mod tests {
         let plan = plan(&test_spec(), &devices, &placement).unwrap();
         let (modules, _) = registries();
         let empty_services = ServiceRegistry::new();
-        let result = LocalRuntime::deploy(
-            &plan,
-            &modules,
-            &empty_services,
-            RuntimeConfig::default(),
-        );
+        let result =
+            LocalRuntime::deploy(&plan, &modules, &empty_services, RuntimeConfig::default());
         assert!(result.is_err());
     }
 
@@ -1276,5 +1488,195 @@ mod tests {
         assert!(!report.errors.is_empty());
         // The pipeline did not stall: multiple frames flowed (and errored).
         assert!(report.metrics.stages["mid"].count() > 1);
+    }
+
+    /// A service that sleeps longer than any reasonable test deadline.
+    struct Sleepy;
+    impl Service for Sleepy {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn handle(
+            &self,
+            _request: &ServiceRequest,
+            _store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            std::thread::sleep(Duration::from_millis(80));
+            Ok(ServiceResponse::new(Payload::Count(0)))
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(1))
+        }
+    }
+
+    fn one_device() -> (Vec<DeviceSpec>, Placement) {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(2)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        (devices, placement)
+    }
+
+    #[test]
+    fn service_call_deadline_is_configurable_and_typed() {
+        let (devices, placement) = one_device();
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(TestMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(Sleepy));
+        let config = RuntimeConfig {
+            fps: 50.0,
+            resilience: ResilienceConfig {
+                service_call_timeout: Duration::from_millis(10),
+                ..ResilienceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_for(Duration::from_millis(400));
+        assert!(
+            report.errors.iter().any(|e| e.contains("timed out")),
+            "expected a typed timeout in {:?}",
+            report.errors
+        );
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn retries_recover_transient_service_faults() {
+        let (devices, placement) = one_device();
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(TestMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        // Every second request fails; one retry always succeeds.
+        services.install(Arc::new(crate::service::ChaosService::new(
+            Arc::new(Doubler),
+            2,
+        )));
+        let config = RuntimeConfig {
+            fps: 200.0,
+            resilience: ResilienceConfig {
+                retry: crate::resilience::RetryPolicy::exponential(
+                    3,
+                    Duration::from_millis(1),
+                    Duration::from_millis(5),
+                ),
+                ..ResilienceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_until_deliveries(10, Duration::from_secs(10));
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn panicked_module_is_restarted_and_pipeline_survives() {
+        struct PanickyMid {
+            calls: u64,
+        }
+        impl Module for PanickyMid {
+            fn on_event(
+                &mut self,
+                event: Event,
+                ctx: &mut dyn ModuleCtx,
+            ) -> Result<(), PipelineError> {
+                if let Event::Message(msg) = event {
+                    self.calls += 1;
+                    if self.calls % 3 == 0 {
+                        panic!("injected module panic");
+                    }
+                    let Payload::FrameRef(id) = msg.payload else {
+                        return Err(PipelineError::BadPayload("expected frame"));
+                    };
+                    ctx.frame_store().release(id);
+                    ctx.call_module("sink", Payload::Count(1))?;
+                }
+                Ok(())
+            }
+        }
+        let (devices, placement) = one_device();
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(PanickyMid { calls: 0 }));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(Doubler));
+        let config = RuntimeConfig {
+            fps: 200.0,
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_until_deliveries(10, Duration::from_secs(10));
+        assert!(report.restarts >= 1, "no restarts recorded");
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        assert!(
+            report.errors.iter().any(|e| e.contains("panicked")),
+            "{:?}",
+            report.errors
+        );
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn breaker_opens_during_outage_and_recovers() {
+        let (devices, placement) = one_device();
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(TestMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        // Healthy for 150ms, hard down for 200ms, healthy again.
+        services.install(Arc::new(crate::service::ChaosService::outage(
+            Arc::new(Doubler),
+            Duration::from_millis(150),
+            Duration::from_millis(200),
+        )));
+        let config = RuntimeConfig {
+            fps: 200.0,
+            resilience: ResilienceConfig {
+                breaker_failure_threshold: 3,
+                breaker_cooldown: Duration::from_millis(40),
+                degradation: DegradationPolicy::LastKnownGood,
+                ..ResilienceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_for(Duration::from_millis(700));
+        let breaker = report
+            .breakers
+            .get("doubler")
+            .expect("breaker snapshot for doubler");
+        assert!(breaker.opened >= 1, "breaker never opened: {breaker:?}");
+        assert!(
+            breaker.reclosed >= 1,
+            "breaker never recovered half-open -> closed: {breaker:?}"
+        );
+        assert!(report.metrics.frames_delivered > 0);
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
     }
 }

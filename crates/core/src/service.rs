@@ -162,14 +162,54 @@ pub fn wrong_payload(service: &str, expected: &str, got: &Payload) -> PipelineEr
     }
 }
 
-/// A fault-injection decorator: wraps any service and fails every `n`-th
-/// request. Used by resilience tests to verify that the runtime returns the
-/// frame's flow-control credit and keeps the pipeline alive when a service
-/// misbehaves (a crashed container, in the paper's deployment terms).
+/// How a [`ChaosService`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ChaosMode {
+    /// Fail every `n`-th request (1 = every request).
+    FailEveryN(u64),
+    /// Fail each request independently with `probability`, decided by a
+    /// deterministic hash of `seed` and the request number — two runs with
+    /// the same seed fail the same requests.
+    FailWithProbability {
+        /// Base seed for the per-request decision.
+        seed: u64,
+        /// Failure probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Sleep `delay` before answering every `every`-th request (a wedged
+    /// container or GC pause; exercises the caller's per-call deadline).
+    DelayEveryN {
+        /// Which requests are delayed (1 = all).
+        every: u64,
+        /// Injected wall-clock delay.
+        delay: Duration,
+    },
+    /// Panic on every `n`-th request (a crashed executor; exercises
+    /// supervision of the service thread).
+    PanicEveryN(u64),
+    /// Fail every request inside the wall-clock window
+    /// `[after, after + duration)` measured from construction — a scheduled
+    /// outage that drives a circuit breaker open and, once healed, back
+    /// closed through a half-open probe.
+    Outage {
+        /// Outage start, relative to construction.
+        after: Duration,
+        /// Outage length.
+        duration: Duration,
+    },
+}
+
+/// A fault-injection decorator: wraps any service and misbehaves according
+/// to a [`ChaosMode`]. Used by resilience tests to verify that the runtime
+/// returns the frame's flow-control credit and keeps the pipeline alive
+/// when a service misbehaves (a crashed container, in the paper's
+/// deployment terms).
 pub struct ChaosService {
     inner: Arc<dyn Service>,
-    fail_every: u64,
+    mode: ChaosMode,
     calls: std::sync::atomic::AtomicU64,
+    started: std::time::Instant,
 }
 
 impl ChaosService {
@@ -181,16 +221,71 @@ impl ChaosService {
     /// Panics if `fail_every` is zero.
     pub fn new(inner: Arc<dyn Service>, fail_every: u64) -> Self {
         assert!(fail_every > 0, "fail_every must be at least 1");
+        Self::with_mode(inner, ChaosMode::FailEveryN(fail_every))
+    }
+
+    /// Wraps `inner` with an arbitrary chaos mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate modes: a zero `n`/`every`, or a probability
+    /// outside `[0, 1]`.
+    pub fn with_mode(inner: Arc<dyn Service>, mode: ChaosMode) -> Self {
+        match mode {
+            ChaosMode::FailEveryN(n) | ChaosMode::PanicEveryN(n) => {
+                assert!(n > 0, "fail_every must be at least 1");
+            }
+            ChaosMode::DelayEveryN { every, .. } => {
+                assert!(every > 0, "fail_every must be at least 1");
+            }
+            ChaosMode::FailWithProbability { probability, .. } => {
+                assert!(
+                    (0.0..=1.0).contains(&probability),
+                    "probability must be in [0, 1]"
+                );
+            }
+            ChaosMode::Outage { .. } => {}
+        }
         ChaosService {
             inner,
-            fail_every,
+            mode,
             calls: std::sync::atomic::AtomicU64::new(0),
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// Seeded probabilistic failures: each request fails independently with
+    /// `probability`.
+    pub fn probabilistic(inner: Arc<dyn Service>, seed: u64, probability: f64) -> Self {
+        Self::with_mode(inner, ChaosMode::FailWithProbability { seed, probability })
+    }
+
+    /// Injected latency: every `every`-th request sleeps `delay` first.
+    pub fn delaying(inner: Arc<dyn Service>, every: u64, delay: Duration) -> Self {
+        Self::with_mode(inner, ChaosMode::DelayEveryN { every, delay })
+    }
+
+    /// Injected panics: every `every`-th request panics.
+    pub fn panicking(inner: Arc<dyn Service>, every: u64) -> Self {
+        Self::with_mode(inner, ChaosMode::PanicEveryN(every))
+    }
+
+    /// A scheduled outage window starting `after` construction and lasting
+    /// `duration`.
+    pub fn outage(inner: Arc<dyn Service>, after: Duration, duration: Duration) -> Self {
+        Self::with_mode(inner, ChaosMode::Outage { after, duration })
     }
 
     /// Requests served so far (including failed ones).
     pub fn calls(&self) -> u64 {
         self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn injected_fault(&self, n: u64) -> PipelineError {
+        PipelineError::Service {
+            service: self.inner.name().to_string(),
+            reason: format!("injected fault on request #{n}"),
+        }
     }
 }
 
@@ -208,11 +303,37 @@ impl Service for ChaosService {
             .calls
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
             + 1;
-        if n.is_multiple_of(self.fail_every) {
-            return Err(PipelineError::Service {
-                service: self.inner.name().to_string(),
-                reason: format!("injected fault on request #{n}"),
-            });
+        match self.mode {
+            ChaosMode::FailEveryN(every) => {
+                if n.is_multiple_of(every) {
+                    return Err(self.injected_fault(n));
+                }
+            }
+            ChaosMode::FailWithProbability { seed, probability } => {
+                let roll = crate::resilience::SeededJitter::new(seed ^ n).next_f64();
+                if roll < probability {
+                    return Err(self.injected_fault(n));
+                }
+            }
+            ChaosMode::DelayEveryN { every, delay } => {
+                if n.is_multiple_of(every) {
+                    std::thread::sleep(delay);
+                }
+            }
+            ChaosMode::PanicEveryN(every) => {
+                if n.is_multiple_of(every) {
+                    panic!("injected panic on request #{n}");
+                }
+            }
+            ChaosMode::Outage { after, duration } => {
+                let t = self.started.elapsed();
+                if t >= after && t < after + duration {
+                    return Err(PipelineError::Service {
+                        service: self.inner.name().to_string(),
+                        reason: format!("injected outage (request #{n})"),
+                    });
+                }
+            }
         }
         self.inner.handle(request, store)
     }
@@ -226,7 +347,7 @@ impl std::fmt::Debug for ChaosService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChaosService")
             .field("inner", &self.inner.name())
-            .field("fail_every", &self.fail_every)
+            .field("mode", &self.mode)
             .field("calls", &self.calls())
             .finish()
     }
@@ -362,6 +483,91 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn chaos_rejects_zero() {
         let _ = ChaosService::new(Arc::new(EchoService), 0);
+    }
+
+    #[test]
+    fn chaos_probabilistic_is_seeded_and_calibrated() {
+        let store = FrameStore::new();
+        let req = ServiceRequest::new("echo", Payload::Count(1));
+        let run = |seed: u64| {
+            let chaos = ChaosService::probabilistic(Arc::new(EchoService), seed, 0.3);
+            (0..1000)
+                .map(|_| chaos.handle(&req, &store).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed must fail the same requests");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!(
+            (200..400).contains(&failures),
+            "30% target, got {failures}/1000"
+        );
+        assert_ne!(a, run(12), "different seeds should differ");
+        // Degenerate probabilities behave as advertised.
+        let never = ChaosService::probabilistic(Arc::new(EchoService), 1, 0.0);
+        let always = ChaosService::probabilistic(Arc::new(EchoService), 1, 1.0);
+        for _ in 0..20 {
+            assert!(never.handle(&req, &store).is_ok());
+            assert!(always.handle(&req, &store).is_err());
+        }
+    }
+
+    #[test]
+    fn chaos_delay_injects_latency() {
+        let chaos = ChaosService::delaying(Arc::new(EchoService), 2, Duration::from_millis(30));
+        let store = FrameStore::new();
+        let req = ServiceRequest::new("echo", Payload::Count(1));
+        let t = std::time::Instant::now();
+        assert!(chaos.handle(&req, &store).is_ok()); // 1st: fast
+        let fast = t.elapsed();
+        let t = std::time::Instant::now();
+        assert!(chaos.handle(&req, &store).is_ok()); // 2nd: delayed
+        let slow = t.elapsed();
+        assert!(
+            slow >= Duration::from_millis(30),
+            "delayed call took {slow:?}"
+        );
+        assert!(fast < Duration::from_millis(30), "fast call took {fast:?}");
+    }
+
+    #[test]
+    fn chaos_panic_mode_panics_on_schedule() {
+        let chaos = Arc::new(ChaosService::panicking(Arc::new(EchoService), 3));
+        let store = FrameStore::new();
+        let req = ServiceRequest::new("echo", Payload::Count(1));
+        assert!(chaos.handle(&req, &store).is_ok());
+        assert!(chaos.handle(&req, &store).is_ok());
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| chaos.handle(&req, &store)));
+        assert!(result.is_err(), "3rd request should panic");
+        assert!(chaos.handle(&req, &store).is_ok());
+        assert_eq!(chaos.calls(), 4);
+    }
+
+    #[test]
+    fn chaos_outage_window_opens_and_heals() {
+        // Outage from 20 ms to 60 ms after construction.
+        let chaos = ChaosService::outage(
+            Arc::new(EchoService),
+            Duration::from_millis(20),
+            Duration::from_millis(40),
+        );
+        let store = FrameStore::new();
+        let req = ServiceRequest::new("echo", Payload::Count(1));
+        assert!(chaos.handle(&req, &store).is_ok(), "before the outage");
+        std::thread::sleep(Duration::from_millis(30));
+        let during = chaos.handle(&req, &store);
+        assert!(during.is_err(), "inside the outage window");
+        assert!(during.unwrap_err().to_string().contains("injected outage"));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(chaos.handle(&req, &store).is_ok(), "after the heal time");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn chaos_rejects_bad_probability() {
+        let _ = ChaosService::probabilistic(Arc::new(EchoService), 0, 1.5);
     }
 
     #[test]

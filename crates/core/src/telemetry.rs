@@ -240,8 +240,7 @@ mod tests {
 
     #[test]
     fn unknown_keys_are_ignored() {
-        let decoded =
-            TelemetrySnapshot::decode("pipeline=p;future_field=1;at_ns=5").unwrap();
+        let decoded = TelemetrySnapshot::decode("pipeline=p;future_field=1;at_ns=5").unwrap();
         assert_eq!(decoded.at_ns, 5);
     }
 

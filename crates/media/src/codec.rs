@@ -312,8 +312,8 @@ mod tests {
 
     #[test]
     fn default_quality_preserves_joint_bands() {
-        use crate::scene::{joint_for_intensity, joint_intensity};
         use crate::pose::Joint;
+        use crate::scene::{joint_for_intensity, joint_intensity};
         let frame = test_frame();
         let decoded = decode(&encode(&frame, Quality::default())).unwrap();
         // Every joint disc centre must still decode to the right joint.
@@ -408,7 +408,11 @@ mod tests {
     fn all_black_frame_is_tiny() {
         let frame = FrameBuf::new(640, 480).freeze(0, 0);
         let encoded = encode(&frame, Quality::default());
-        assert!(encoded.len() < 40, "flat frame took {} bytes", encoded.len());
+        assert!(
+            encoded.len() < 40,
+            "flat frame took {} bytes",
+            encoded.len()
+        );
         let decoded = decode(&encoded).unwrap();
         assert!(decoded.pixels().iter().all(|&p| p == 0));
     }

@@ -163,7 +163,13 @@ impl Frame {
     /// # Panics
     ///
     /// Panics if `pixels.len() != width * height` or a dimension is zero.
-    pub fn from_pixels(width: u32, height: u32, pixels: Vec<u8>, seq: u64, timestamp_ns: u64) -> Self {
+    pub fn from_pixels(
+        width: u32,
+        height: u32,
+        pixels: Vec<u8>,
+        seq: u64,
+        timestamp_ns: u64,
+    ) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
         assert_eq!(
             pixels.len(),

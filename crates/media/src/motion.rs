@@ -75,7 +75,10 @@ impl ExerciseKind {
 
     /// Parses a label produced by [`ExerciseKind::label`].
     pub fn from_label(label: &str) -> Option<ExerciseKind> {
-        ExerciseKind::ALL.iter().copied().find(|k| k.label() == label)
+        ExerciseKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label() == label)
     }
 
     /// Whether the motion is cyclic (repetitions) or one-shot (`Fall`).
@@ -127,8 +130,17 @@ fn shift(pose: &mut Pose, joint: Joint, dx: f32, dy: f32) {
 fn shift_upper_body(pose: &mut Pose, dx: f32, dy: f32) {
     use Joint::*;
     for j in [
-        Nose, LeftEye, RightEye, LeftEar, RightEar, LeftShoulder, RightShoulder, LeftElbow,
-        RightElbow, LeftWrist, RightWrist,
+        Nose,
+        LeftEye,
+        RightEye,
+        LeftEar,
+        RightEar,
+        LeftShoulder,
+        RightShoulder,
+        LeftElbow,
+        RightElbow,
+        LeftWrist,
+        RightWrist,
     ] {
         shift(pose, j, dx, dy);
     }
@@ -227,11 +239,17 @@ fn clap(pose: &mut Pose, s: f32) {
     let target = Keypoint::new(0.5, 0.36);
     pose.set_joint(
         LeftWrist,
-        Keypoint::new(lw.x + (target.x + 0.012 - lw.x) * s, lw.y + (target.y - lw.y) * s),
+        Keypoint::new(
+            lw.x + (target.x + 0.012 - lw.x) * s,
+            lw.y + (target.y - lw.y) * s,
+        ),
     );
     pose.set_joint(
         RightWrist,
-        Keypoint::new(rw.x + (target.x - 0.012 - rw.x) * s, rw.y + (target.y - rw.y) * s),
+        Keypoint::new(
+            rw.x + (target.x - 0.012 - rw.x) * s,
+            rw.y + (target.y - rw.y) * s,
+        ),
     );
     shift(pose, LeftElbow, -0.03 * s, -0.05 * s);
     shift(pose, RightElbow, 0.03 * s, -0.05 * s);
@@ -405,8 +423,7 @@ mod tests {
         let closed = ExerciseKind::JumpingJack.pose_at_phase(0.0);
         let open = ExerciseKind::JumpingJack.pose_at_phase(0.5);
         assert!(open.joint(Joint::LeftWrist).y < closed.joint(Joint::LeftWrist).y - 0.2);
-        let spread_closed =
-            closed.joint(Joint::LeftAnkle).x - closed.joint(Joint::RightAnkle).x;
+        let spread_closed = closed.joint(Joint::LeftAnkle).x - closed.joint(Joint::RightAnkle).x;
         let spread_open = open.joint(Joint::LeftAnkle).x - open.joint(Joint::RightAnkle).x;
         assert!(spread_open > spread_closed + 0.1);
     }

@@ -34,8 +34,8 @@ pub fn joint_for_intensity(value: u8) -> Option<Joint> {
         return None;
     }
     let offset = i32::from(value) - i32::from(JOINT_BASE_INTENSITY);
-    let idx = (offset + i32::from(JOINT_BAND_HALF_WIDTH))
-        .div_euclid(i32::from(JOINT_INTENSITY_STEP));
+    let idx =
+        (offset + i32::from(JOINT_BAND_HALF_WIDTH)).div_euclid(i32::from(JOINT_INTENSITY_STEP));
     if idx < 0 || idx >= JOINT_COUNT as i32 {
         return None;
     }
@@ -334,7 +334,9 @@ mod tests {
 
     #[test]
     fn joint_radius_scales_with_resolution() {
-        assert!(SceneRenderer::new(640, 480).joint_radius() > SceneRenderer::new(80, 60).joint_radius());
+        assert!(
+            SceneRenderer::new(640, 480).joint_radius() > SceneRenderer::new(80, 60).joint_radius()
+        );
         assert!(SceneRenderer::new(16, 16).joint_radius() >= 2);
     }
 }

@@ -1,6 +1,6 @@
 use crate::frame::Frame;
 use crate::motion::MotionClip;
-use crate::scene::{SceneRenderer, SceneObject};
+use crate::scene::{SceneObject, SceneRenderer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -140,9 +140,7 @@ impl SyntheticVideoSource {
             self.renderer.render(&pose, seq, t_ns)
         } else {
             // Objects + noise: render scene then perturb.
-            let frame = self
-                .renderer
-                .render_scene(&pose, &self.objects, seq, t_ns);
+            let frame = self.renderer.render_scene(&pose, &self.objects, seq, t_ns);
             if self.config.noise_sigma > 0.0 {
                 let mut buf = frame.to_buf();
                 crate::scene::add_noise(&mut buf, self.config.noise_sigma, &mut self.rng);
@@ -211,8 +209,7 @@ mod tests {
         let config = SourceConfig::new(10.0)
             .with_resolution(128, 96)
             .with_noise(0.0);
-        let mut src =
-            SyntheticVideoSource::new(config, MotionClip::new(ExerciseKind::Idle, 2.0));
+        let mut src = SyntheticVideoSource::new(config, MotionClip::new(ExerciseKind::Idle, 2.0));
         let frame = src.capture(0);
         assert_eq!((frame.width(), frame.height()), (128, 96));
     }
@@ -256,17 +253,14 @@ mod tests {
     #[test]
     fn objects_appear_in_captured_frames() {
         let config = SourceConfig::new(10.0).with_noise(0.0);
-        let mut src = SyntheticVideoSource::new(
-            config,
-            MotionClip::new(ExerciseKind::Idle, 2.0),
-        )
-        .with_objects(vec![SceneObject::Rect {
-            x: 0.02,
-            y: 0.02,
-            w: 0.1,
-            h: 0.1,
-            intensity: 251,
-        }]);
+        let mut src = SyntheticVideoSource::new(config, MotionClip::new(ExerciseKind::Idle, 2.0))
+            .with_objects(vec![SceneObject::Rect {
+                x: 0.02,
+                y: 0.02,
+                w: 0.1,
+                h: 0.1,
+                intensity: 251,
+            }]);
         let frame = src.capture(0);
         assert!(frame.pixels().contains(&251));
     }

@@ -73,7 +73,6 @@ impl FaceDetector {
             return None;
         }
 
-
         let centroid = |i: usize| {
             (
                 (sum[i].0 / count[i] as f64) as f32 / width as f32,

@@ -47,7 +47,7 @@ impl FallDetector {
             window_ns: 1_500_000_000,
             min_aspect: 1.2,
             min_descent_speed: 0.25,
-        latched: false,
+            latched: false,
         }
     }
 

@@ -128,10 +128,7 @@ impl KMeans {
             // Assignment step.
             let mut changed = false;
             for (i, s) in samples.iter().enumerate() {
-                let dists: Vec<f32> = centroids
-                    .iter()
-                    .map(|c| squared_distance(s, c))
-                    .collect();
+                let dists: Vec<f32> = centroids.iter().map(|c| squared_distance(s, c)).collect();
                 let best = argmin(&dists).expect("k >= 1");
                 if assignments[i] != best {
                     assignments[i] = best;

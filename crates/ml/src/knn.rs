@@ -44,7 +44,10 @@ impl fmt::Display for KnnError {
                 write!(f, "{samples} samples but {labels} labels")
             }
             KnnError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension {actual} does not match training dimension {expected}")
+                write!(
+                    f,
+                    "dimension {actual} does not match training dimension {expected}"
+                )
             }
             KnnError::ZeroK => write!(f, "k must be at least 1"),
         }
@@ -367,8 +370,14 @@ mod tests {
             let a = knn.neighbours(&q).unwrap();
             let b = knn.brute_force(&q);
             // Distances must agree (indices may differ on exact ties).
-            let da: Vec<f32> = a.iter().map(|&i| squared_distance(&q, &samples[i])).collect();
-            let db: Vec<f32> = b.iter().map(|&i| squared_distance(&q, &samples[i])).collect();
+            let da: Vec<f32> = a
+                .iter()
+                .map(|&i| squared_distance(&q, &samples[i]))
+                .collect();
+            let db: Vec<f32> = b
+                .iter()
+                .map(|&i| squared_distance(&q, &samples[i]))
+                .collect();
             for (x, y) in da.iter().zip(db.iter()) {
                 assert!((x - y).abs() < 1e-6, "kdtree {da:?} != brute {db:?}");
             }
@@ -399,7 +408,11 @@ mod tests {
             Err(KnnError::LabelCountMismatch { .. })
         ));
         assert!(matches!(
-            KnnClassifier::fit(1, vec![vec![0.0], vec![0.0, 1.0]], vec!["a".into(), "b".into()]),
+            KnnClassifier::fit(
+                1,
+                vec![vec![0.0], vec![0.0, 1.0]],
+                vec!["a".into(), "b".into()]
+            ),
             Err(KnnError::DimensionMismatch { .. })
         ));
     }

@@ -42,10 +42,7 @@ impl RepCounterModel {
         // The initial cluster is the one the majority of the first
         // DEBOUNCE_FRAMES frames fall into (robust to a noisy first frame).
         let head = samples.len().min(DEBOUNCE_FRAMES);
-        let votes: usize = samples[..head]
-            .iter()
-            .map(|s| kmeans.predict(s))
-            .sum();
+        let votes: usize = samples[..head].iter().map(|s| kmeans.predict(s)).sum();
         let initial_cluster = usize::from(votes * 2 > head);
         Ok(RepCounterModel {
             kmeans,
@@ -235,10 +232,7 @@ mod tests {
 
     #[test]
     fn debounce_suppresses_boundary_chatter() {
-        let model = RepCounterModel::from_parts(
-            vec![vec![0.0; 34], vec![1.0; 34]],
-            0,
-        );
+        let model = RepCounterModel::from_parts(vec![vec![0.0; 34], vec![1.0; 34]], 0);
         let mut counter = RepCounter::new(model);
         // Alternating 0/1 observations must never commit a transition.
         for _ in 0..50 {

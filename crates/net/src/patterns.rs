@@ -131,7 +131,12 @@ impl ReqSocket {
     /// time, or transport errors.
     pub fn call(&self, payload: Bytes) -> Result<Bytes, NetError> {
         let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
-        let req = WireMessage::request(self.service.clone(), self.inbox_name.clone(), corr_id, payload);
+        let req = WireMessage::request(
+            self.service.clone(),
+            self.inbox_name.clone(),
+            corr_id,
+            payload,
+        );
         self.to_service.send(req)?;
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
@@ -358,10 +363,7 @@ mod tests {
             .unwrap()
             .send(WireMessage::signal("svc2", 1))
             .unwrap();
-        let server = RepServer::new(
-            Box::new(inbox),
-            Box::new(|_| Err(NetError::Disconnected)),
-        );
+        let server = RepServer::new(Box::new(inbox), Box::new(|_| Err(NetError::Disconnected)));
         let served = server
             .serve_one(Duration::from_millis(20), |_| Bytes::new())
             .unwrap();

@@ -11,11 +11,12 @@ use crate::wire::{read_frame, write_frame, WireMessage};
 use crate::{MsgReceiver, MsgSender};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A bound TCP endpoint: accepts peers in the background and exposes their
 /// merged frame stream as a [`MsgReceiver`].
@@ -141,10 +142,60 @@ impl MsgReceiver for TcpListenerHandle {
     }
 }
 
+/// Reconnect behaviour for a [`TcpSender`].
+///
+/// With a policy installed, `send` never surfaces a disconnect: messages are
+/// buffered (up to `buffer_limit`, oldest dropped first) while the sender
+/// re-dials the peer with exponential backoff. Without one, a broken pipe is
+/// reported as a typed [`NetError::Disconnected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Delay before the first re-dial after a failed attempt.
+    pub base_backoff: Duration,
+    /// Ceiling for the doubling backoff.
+    pub max_backoff: Duration,
+    /// Messages buffered while disconnected; beyond this the oldest is
+    /// dropped (and counted) — bounded memory, like a ZeroMQ high-water mark.
+    pub buffer_limit: usize,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            buffer_limit: 1024,
+        }
+    }
+}
+
+/// Everything about the connection that changes over its lifetime.
+struct SenderState {
+    stream: Option<TcpStream>,
+    buffer: VecDeque<WireMessage>,
+    next_attempt: Instant,
+    backoff: Duration,
+}
+
+/// True for the error kinds a dead peer produces on write.
+fn is_disconnect(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
 /// The connecting side of a TCP edge.
 pub struct TcpSender {
-    stream: Mutex<TcpStream>,
+    state: Mutex<SenderState>,
     peer: String,
+    reconnect: Option<ReconnectPolicy>,
+    dropped: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl TcpSender {
@@ -157,8 +208,16 @@ impl TcpSender {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(TcpSender {
-            stream: Mutex::new(stream),
+            state: Mutex::new(SenderState {
+                stream: Some(stream),
+                buffer: VecDeque::new(),
+                next_attempt: Instant::now(),
+                backoff: Duration::from_millis(5),
+            }),
             peer: addr.to_string(),
+            reconnect: None,
+            dropped: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         })
     }
 
@@ -169,12 +228,12 @@ impl TcpSender {
     ///
     /// Returns the last connection error after the deadline.
     pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Self, NetError> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
             match Self::connect(addr) {
                 Ok(sender) => return Ok(sender),
                 Err(e) => {
-                    if std::time::Instant::now() >= deadline {
+                    if Instant::now() >= deadline {
                         return Err(e);
                     }
                     std::thread::sleep(Duration::from_millis(10));
@@ -183,22 +242,137 @@ impl TcpSender {
         }
     }
 
+    /// Installs a reconnect policy: mid-stream disconnects buffer and
+    /// re-dial instead of erroring.
+    #[must_use]
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.state.lock().backoff = policy.base_backoff;
+        self.reconnect = Some(policy);
+        self
+    }
+
     /// The peer address.
     pub fn peer(&self) -> &str {
         &self.peer
+    }
+
+    /// Messages dropped because the reconnect buffer overflowed.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Successful re-dials after a mid-stream disconnect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently buffered awaiting a reconnect.
+    pub fn buffered(&self) -> usize {
+        self.state.lock().buffer.len()
+    }
+
+    /// Severs the current connection (chaos testing): the next send either
+    /// reports [`NetError::Disconnected`] or, with a reconnect policy,
+    /// buffers and re-dials. Returns whether a live connection was cut.
+    pub fn inject_disconnect(&self) -> bool {
+        let mut state = self.state.lock();
+        state.next_attempt = Instant::now();
+        if let Some(policy) = &self.reconnect {
+            state.backoff = policy.base_backoff;
+        }
+        match state.stream.take() {
+            Some(stream) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attempts to (re-)establish the connection if the backoff allows it.
+    fn try_redial(&self, state: &mut SenderState, policy: &ReconnectPolicy) {
+        let now = Instant::now();
+        if state.stream.is_some() || now < state.next_attempt {
+            return;
+        }
+        match TcpStream::connect(&self.peer) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                state.stream = Some(stream);
+                state.backoff = policy.base_backoff;
+                self.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                state.next_attempt = now + state.backoff;
+                state.backoff = (state.backoff * 2).min(policy.max_backoff);
+            }
+        }
+    }
+
+    /// Writes as much of the buffer as the connection accepts, in order.
+    /// On a disconnect-flavoured error the stream is dropped and the
+    /// unsent tail stays buffered for the next attempt.
+    fn flush(&self, state: &mut SenderState) -> Result<(), NetError> {
+        let mut lost = false;
+        if let Some(stream) = state.stream.as_mut() {
+            while let Some(front) = state.buffer.front() {
+                match write_frame(stream, front) {
+                    Ok(()) => {
+                        state.buffer.pop_front();
+                    }
+                    Err(NetError::Io(e)) if is_disconnect(e.kind()) => {
+                        lost = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if lost {
+            state.stream = None;
+            state.next_attempt = Instant::now();
+        }
+        Ok(())
     }
 }
 
 impl std::fmt::Debug for TcpSender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpSender").field("peer", &self.peer).finish()
+        f.debug_struct("TcpSender")
+            .field("peer", &self.peer)
+            .field("reconnect", &self.reconnect)
+            .finish()
     }
 }
 
 impl MsgSender for TcpSender {
     fn send(&self, msg: WireMessage) -> Result<(), NetError> {
-        let mut stream = self.stream.lock();
-        write_frame(&mut *stream, &msg)
+        let mut state = self.state.lock();
+        match &self.reconnect {
+            None => {
+                // Fail fast with a typed error so callers can react.
+                let Some(stream) = state.stream.as_mut() else {
+                    return Err(NetError::Disconnected);
+                };
+                match write_frame(stream, &msg) {
+                    Ok(()) => Ok(()),
+                    Err(NetError::Io(e)) if is_disconnect(e.kind()) => {
+                        state.stream = None;
+                        Err(NetError::Disconnected)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Some(policy) => {
+                state.buffer.push_back(msg);
+                if state.buffer.len() > policy.buffer_limit {
+                    state.buffer.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                self.try_redial(&mut state, policy);
+                self.flush(&mut state)
+            }
+        }
     }
 }
 
@@ -214,7 +388,12 @@ mod tests {
         let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
         for i in 0..10u64 {
             sender
-                .send(WireMessage::data("mod_b", i, i * 10, Bytes::from(vec![i as u8; 100])))
+                .send(WireMessage::data(
+                    "mod_b",
+                    i,
+                    i * 10,
+                    Bytes::from(vec![i as u8; 100]),
+                ))
                 .unwrap();
         }
         for i in 0..10u64 {
@@ -280,7 +459,105 @@ mod tests {
         let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
         let port = listener.local_port();
         drop(listener); // must not hang
-        // Port becomes reusable shortly after.
+                        // Port becomes reusable shortly after.
         let _ = port;
+    }
+
+    #[test]
+    fn mid_stream_listener_death_is_a_typed_error() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        sender.send(WireMessage::signal("x", 0)).unwrap();
+        assert_eq!(
+            listener.recv_timeout(Duration::from_secs(2)).unwrap().seq,
+            0
+        );
+        // Kill the listener mid-stream: the reader thread exits and the
+        // peer socket closes underneath the sender.
+        drop(listener);
+        // The kernel may accept a few writes into its buffer before the
+        // reset surfaces; keep sending until the failure shows up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            match sender.send(WireMessage::signal("x", 1)) {
+                Ok(()) => {
+                    assert!(Instant::now() < deadline, "disconnect never surfaced");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, NetError::Disconnected),
+            "expected Disconnected, got {err:?}"
+        );
+        // Once detected, subsequent sends fail fast.
+        assert!(matches!(
+            sender.send(WireMessage::signal("x", 2)),
+            Err(NetError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn reconnect_policy_survives_mid_stream_disconnect() {
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2))
+            .unwrap()
+            .with_reconnect(ReconnectPolicy {
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+                buffer_limit: 64,
+            });
+        sender.send(WireMessage::signal("x", 0)).unwrap();
+        assert_eq!(
+            listener.recv_timeout(Duration::from_secs(2)).unwrap().seq,
+            0
+        );
+
+        assert!(sender.inject_disconnect());
+        // Sends during the outage buffer instead of erroring, and the
+        // sender re-dials the (still listening) peer with backoff.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut seq = 1u64;
+        let received = loop {
+            sender.send(WireMessage::signal("x", seq)).unwrap();
+            seq += 1;
+            match listener.recv_timeout(Duration::from_millis(20)) {
+                Ok(msg) => break msg,
+                Err(_) => assert!(Instant::now() < deadline, "never reconnected"),
+            }
+        };
+        // In-order delivery resumes from the buffered backlog.
+        assert_eq!(received.seq, 1);
+        assert!(sender.reconnects() >= 1);
+        assert_eq!(sender.dropped_frames(), 0);
+    }
+
+    #[test]
+    fn reconnect_buffer_is_bounded_and_counts_drops() {
+        // Connect to a real listener, then kill it so re-dials fail and the
+        // buffer can only grow.
+        let listener = TcpListenerHandle::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", listener.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2))
+            .unwrap()
+            .with_reconnect(ReconnectPolicy {
+                base_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_millis(50),
+                buffer_limit: 8,
+            });
+        drop(listener);
+        sender.inject_disconnect();
+        for i in 0..20u64 {
+            sender.send(WireMessage::signal("x", i)).unwrap();
+        }
+        assert!(
+            sender.buffered() <= 8,
+            "buffer grew to {}",
+            sender.buffered()
+        );
+        assert!(sender.dropped_frames() >= 12 - 8);
     }
 }

@@ -170,8 +170,8 @@ impl WireMessage {
             }
         }
         need(buf, 2)?;
-        let kind = MessageKind::from_u8(buf.get_u8())
-            .ok_or(NetError::BadFrame("unknown message kind"))?;
+        let kind =
+            MessageKind::from_u8(buf.get_u8()).ok_or(NetError::BadFrame("unknown message kind"))?;
         let chan_len = buf.get_u8() as usize;
         need(buf, chan_len)?;
         let channel = std::str::from_utf8(&buf[..chan_len])

@@ -162,7 +162,10 @@ mod tests {
         let mut engine = Engine::new();
         engine.schedule(SimTime::from_ms(10), 1);
         engine.schedule(SimTime::from_ms(50), 2);
-        assert_eq!(engine.pop_until(SimTime::from_ms(20)).map(|(_, e)| e), Some(1));
+        assert_eq!(
+            engine.pop_until(SimTime::from_ms(20)).map(|(_, e)| e),
+            Some(1)
+        );
         assert_eq!(engine.pop_until(SimTime::from_ms(20)), None);
         assert_eq!(engine.pending(), 1);
     }

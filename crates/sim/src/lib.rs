@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod net_model;
 pub mod pool;
 pub mod profiles;
@@ -31,6 +32,7 @@ pub mod scenario;
 mod time;
 
 pub use engine::Engine;
+pub use faults::{FaultPlan, LatencySpike, LinkPartition};
 pub use net_model::{LinkModel, LinkStats};
 pub use pool::{PoolStats, ServicePool};
 pub use profiles::SimProfile;

@@ -63,8 +63,21 @@ impl LinkModel {
     /// Books a transfer of `bytes` starting no earlier than `now`; returns
     /// the arrival time at the far end.
     pub fn transfer(&mut self, now: SimTime, bytes: usize, rng: &mut StdRng) -> SimTime {
-        let start = now.max(self.busy_until);
-        let queued = start - now;
+        self.transfer_at(now, bytes, rng, Duration::ZERO)
+    }
+
+    /// Like [`LinkModel::transfer`], but the transfer cannot start before
+    /// `earliest` (e.g. a partition's heal time) and `extra_latency` is
+    /// added to propagation (e.g. an injected latency spike).
+    pub fn transfer_at(
+        &mut self,
+        earliest: SimTime,
+        bytes: usize,
+        rng: &mut StdRng,
+        extra_latency: Duration,
+    ) -> SimTime {
+        let start = earliest.max(self.busy_until);
+        let queued = start - earliest;
         let jitter = if self.jitter_frac > 0.0 {
             1.0 + rng.gen_range(-self.jitter_frac..self.jitter_frac)
         } else {
@@ -72,7 +85,7 @@ impl LinkModel {
         };
         let tx = self.tx_time(bytes).mul_f64(jitter);
         self.busy_until = start + tx;
-        let latency = self.latency.mul_f64(jitter.max(0.5));
+        let latency = self.latency.mul_f64(jitter.max(0.5)) + extra_latency;
         let arrival = start + tx + latency;
 
         self.stats.transfers += 1;
@@ -166,5 +179,13 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_panics() {
         let _ = LinkModel::new(Duration::ZERO, 0, 0.0);
+    }
+
+    #[test]
+    fn transfer_at_adds_injected_latency() {
+        let mut link = LinkModel::new(Duration::from_millis(2), 100_000_000, 0.0);
+        let arrival = link.transfer_at(SimTime::ZERO, 12_500, &mut rng(), Duration::from_millis(7));
+        // 1ms tx + 2ms latency + 7ms spike.
+        assert_eq!(arrival, SimTime::from_ms(10));
     }
 }

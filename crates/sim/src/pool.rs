@@ -131,7 +131,11 @@ impl ServicePool {
 
     /// The time the earliest executor becomes free.
     pub fn earliest_free(&self) -> SimTime {
-        self.executors.iter().copied().min().unwrap_or(SimTime::ZERO)
+        self.executors
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 

@@ -17,6 +17,7 @@
 //! ~11 FPS cap at high FPS.
 
 use crate::engine::Engine;
+use crate::faults::FaultPlan;
 use crate::net_model::{LinkModel, LinkStats};
 use crate::pool::{PoolStats, ServicePool};
 use crate::profiles::SimProfile;
@@ -181,15 +182,12 @@ impl ModuleCtx for SimCtx {
         service: &str,
         request: ServiceRequest,
     ) -> Result<ServiceResponse, PipelineError> {
-        let (device, remote) = self
-            .wiring
-            .bindings
-            .get(service)
-            .cloned()
-            .ok_or_else(|| PipelineError::ServiceUnavailable {
+        let (device, remote) = self.wiring.bindings.get(service).cloned().ok_or_else(|| {
+            PipelineError::ServiceUnavailable {
                 module: self.wiring.name.clone(),
                 service: service.to_string(),
-            })?;
+            }
+        })?;
         let image = self
             .services
             .get(service)
@@ -221,17 +219,12 @@ impl ModuleCtx for SimCtx {
     }
 
     fn call_module(&mut self, target: &str, payload: Payload) -> Result<(), PipelineError> {
-        let (_, cross) = self
-            .wiring
-            .nexts
-            .get(target)
-            .cloned()
-            .ok_or_else(|| {
-                PipelineError::Validation(format!(
-                    "module {:?} has no edge to {target:?}",
-                    self.wiring.name
-                ))
-            })?;
+        let (_, cross) = self.wiring.nexts.get(target).cloned().ok_or_else(|| {
+            PipelineError::Validation(format!(
+                "module {:?} has no edge to {target:?}",
+                self.wiring.name
+            ))
+        })?;
         let bytes = if cross {
             self.frame_bytes(&payload)
         } else {
@@ -321,6 +314,8 @@ pub struct Scenario {
     logs: Vec<String>,
     /// Per-pool snapshot for autoscaling decisions.
     autoscale_snapshots: HashMap<(String, String), PoolStats>,
+    /// Optional deterministic fault schedule.
+    faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -340,7 +335,16 @@ impl Scenario {
             errors: Vec::new(),
             logs: Vec::new(),
             autoscale_snapshots: HashMap::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a deterministic fault schedule: latency spikes and link
+    /// partitions apply to every transfer, and pipelines added *after* this
+    /// call get their service images wrapped with the plan's seeded
+    /// probabilistic failures.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// The shared frame store (the simulation's data plane).
@@ -364,7 +368,18 @@ impl Scenario {
         credits: u32,
     ) -> Result<PipelineHandle, PipelineError> {
         assert!(fps.is_finite() && fps > 0.0, "fps must be positive");
-        let services = Arc::new(services.clone());
+        let services = {
+            let mut registry = services.clone();
+            // Chaos: wrap every image with the plan's seeded failure mode.
+            if let Some(plan) = &self.faults {
+                let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+                for name in names {
+                    let image = registry.get(&name).expect("name just listed");
+                    registry.install(plan.wrap_service(image));
+                }
+            }
+            Arc::new(registry)
+        };
 
         // Register devices / speeds.
         for d in &plan.devices {
@@ -411,11 +426,7 @@ impl Scenario {
                 .to_string();
             *self.resident_count.entry(device.clone()).or_insert(0) += 1;
             let mut bindings = HashMap::new();
-            for b in plan
-                .service_bindings
-                .iter()
-                .filter(|b| b.module == m.name)
-            {
+            for b in plan.service_bindings.iter().filter(|b| b.module == m.name) {
                 bindings.insert(b.service.clone(), (b.device.clone(), b.remote));
             }
             let mut nexts = HashMap::new();
@@ -446,10 +457,7 @@ impl Scenario {
             });
         }
         for sm in &mut sim_modules {
-            sm.resident_modules = *self
-                .resident_count
-                .get(&sm.wiring.device)
-                .unwrap_or(&1);
+            sm.resident_modules = *self.resident_count.get(&sm.wiring.device).unwrap_or(&1);
         }
 
         // Run init() for every module (free of charge on the clock).
@@ -523,6 +531,15 @@ impl Scenario {
 
     fn link_transfer(&mut self, from: &str, to: &str, bytes: usize, now: SimTime) -> SimTime {
         let profile = Arc::clone(&self.profile);
+        // Fault plan: a partitioned link holds the transfer until the heal
+        // time; an active latency spike stretches propagation.
+        let (earliest, extra) = match &self.faults {
+            Some(plan) => (
+                plan.partition_until(from, to, now).unwrap_or(now),
+                plan.extra_latency(now),
+            ),
+            None => (now, Duration::ZERO),
+        };
         let link = self
             .links
             .entry((from.to_string(), to.to_string()))
@@ -533,7 +550,7 @@ impl Scenario {
                     profile.jitter_frac,
                 )
             });
-        link.transfer(now, bytes, &mut self.rng)
+        link.transfer_at(earliest, bytes, &mut self.rng, extra)
     }
 
     fn try_admit(&mut self, p: usize, now: SimTime) {
@@ -786,11 +803,21 @@ impl Scenario {
                     event_header,
                     payload,
                 } => self.handle_deliver(p, m, event_header, payload, now),
-                Ev::Signal { p, header, delivered } => {
-                    self.pipelines[p].controller.complete();
+                Ev::Signal {
+                    p,
+                    header,
+                    delivered,
+                } => {
                     if delivered {
+                        self.pipelines[p].controller.complete();
                         let latency = now.as_ns().saturating_sub(header.capture_ts_ns);
-                        self.pipelines[p].metrics.record_delivery(now.as_ns(), latency);
+                        self.pipelines[p]
+                            .metrics
+                            .record_delivery(now.as_ns(), latency);
+                    } else {
+                        // Error-path credit return (§2.3): the frame died,
+                        // so reclaim its credit without counting a delivery.
+                        self.pipelines[p].controller.fault();
                     }
                     self.try_admit(p, now);
                 }
@@ -809,6 +836,10 @@ impl Scenario {
             pl.metrics.frames_offered = offered;
             pl.metrics.frames_dropped = offered.saturating_sub(pl.admitted);
             pl.metrics.run_duration_ns = duration.as_nanos() as u64;
+            // Credit accounting, so chaos runs can assert nothing leaked.
+            pl.metrics.frames_admitted = pl.controller.admitted();
+            pl.metrics.frames_faulted = pl.controller.faulted();
+            pl.metrics.in_flight_at_end = pl.controller.in_flight();
             pipelines.push((pl.name.clone(), pl.metrics.clone()));
         }
         let mut pools: Vec<PoolReport> = self
@@ -954,7 +985,8 @@ mod tests {
 
     fn profile() -> SimProfile {
         let mut p = SimProfile::deterministic();
-        p.module_cost.insert("Src".into(), Duration::from_millis(10));
+        p.module_cost
+            .insert("Src".into(), Duration::from_millis(10));
         p.camera_recovery = Duration::from_millis(10);
         p.service_cost.clear(); // use Service::cost (40 ms)
         p
@@ -1024,8 +1056,7 @@ mod tests {
     #[test]
     fn more_instances_restore_throughput() {
         let (modules, services) = registries();
-        let mut scenario =
-            Scenario::new(profile().with_service_instances("slow", 2));
+        let mut scenario = Scenario::new(profile().with_service_instances("slow", 2));
         let plan = one_device_plan();
         let h1 = scenario
             .add_pipeline(&plan, &modules, &services, 100.0, 1)
@@ -1062,7 +1093,9 @@ mod tests {
         let mut run = |p: &DeploymentPlan| {
             let (modules, services) = registries();
             let mut scenario = Scenario::new(profile());
-            let h = scenario.add_pipeline(p, &modules, &services, 10.0, 1).unwrap();
+            let h = scenario
+                .add_pipeline(p, &modules, &services, 10.0, 1)
+                .unwrap();
             let report = scenario.run(Duration::from_secs(10));
             report.metrics(h).end_to_end.mean_ms()
         };
@@ -1125,13 +1158,15 @@ mod tests {
     fn credits_increase_throughput_under_saturation() {
         let fps_with_credits = |credits: u32| {
             let (modules, services) = registries();
-            let mut scenario =
-                Scenario::new(profile().with_service_instances("slow", 4));
+            let mut scenario = Scenario::new(profile().with_service_instances("slow", 4));
             let h = scenario
                 .add_pipeline(&one_device_plan(), &modules, &services, 100.0, credits)
                 .unwrap();
             let report = scenario.run(Duration::from_secs(10));
-            (report.metrics(h).fps(), report.metrics(h).end_to_end.mean_ms())
+            (
+                report.metrics(h).fps(),
+                report.metrics(h).end_to_end.mean_ms(),
+            )
         };
         let (fps1, lat1) = fps_with_credits(1);
         let (fps4, lat4) = fps_with_credits(4);
@@ -1140,6 +1175,122 @@ mod tests {
         // bottleneck (~41 ms busy per frame → ~24 fps) while frames queue
         // in front of it, raising end-to-end latency.
         assert!(fps4 > fps1 * 1.15, "fps {fps1} -> {fps4}");
-        assert!(lat4 > lat1, "latency should grow with queueing: {lat1} -> {lat4}");
+        assert!(
+            lat4 > lat1,
+            "latency should grow with queueing: {lat1} -> {lat4}"
+        );
+    }
+
+    fn cross_device_plan() -> DeploymentPlan {
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(1)
+                .with_service("slow"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("work", "desktop")
+            .assign("sink", "phone");
+        plan(&spec(), &devices, &placement).unwrap()
+    }
+
+    #[test]
+    fn partitioned_link_delays_frames_until_heal() {
+        use crate::faults::FaultPlan;
+        let run = |faults: Option<FaultPlan>| {
+            let (modules, services) = registries();
+            let mut scenario = Scenario::new(profile());
+            if let Some(plan) = faults {
+                scenario.inject_faults(plan);
+            }
+            let h = scenario
+                .add_pipeline(&cross_device_plan(), &modules, &services, 10.0, 1)
+                .unwrap();
+            let report = scenario.run(Duration::from_secs(5));
+            assert!(report.errors.is_empty(), "{:?}", report.errors);
+            let m = report.metrics(h).clone();
+            assert!(m.credits_balanced(), "{m:?}");
+            m
+        };
+        let healthy = run(None);
+        // Phone↔desktop cut for the first second; the in-flight frame is
+        // held at the partition and flows once the link heals.
+        let cut = run(Some(FaultPlan::new(1).with_partition(
+            "phone",
+            "desktop",
+            Duration::ZERO,
+            Duration::from_secs(1),
+        )));
+        assert!(cut.frames_delivered > 0, "pipeline never recovered");
+        assert!(
+            cut.frames_delivered < healthy.frames_delivered,
+            "partition cost nothing: {} vs {}",
+            cut.frames_delivered,
+            healthy.frames_delivered
+        );
+        // The first frame's end-to-end latency includes the ~1s stall.
+        assert!(
+            cut.end_to_end.max_ns() >= 900_000_000,
+            "max latency {}ns",
+            cut.end_to_end.max_ns()
+        );
+    }
+
+    #[test]
+    fn seeded_service_failures_fault_credits_not_wedge() {
+        use crate::faults::FaultPlan;
+        let run = |seed: u64| {
+            let (modules, services) = registries();
+            let mut scenario = Scenario::new(profile());
+            scenario.inject_faults(FaultPlan::new(seed).with_service_failure_probability(0.2));
+            let h = scenario
+                .add_pipeline(&one_device_plan(), &modules, &services, 30.0, 1)
+                .unwrap();
+            let report = scenario.run(Duration::from_secs(10));
+            let m = report.metrics(h).clone();
+            (m, report.errors.len())
+        };
+        let (m, errors) = run(42);
+        assert!(errors > 0, "no injected failures observed");
+        assert!(m.frames_faulted > 0, "failures must fault credits: {m:?}");
+        assert!(m.frames_delivered > 0, "pipeline wedged: {m:?}");
+        assert!(m.credits_balanced(), "{m:?}");
+        // Seed-reproducible: identical counts on replay.
+        let (m2, errors2) = run(42);
+        assert_eq!(m.frames_delivered, m2.frames_delivered);
+        assert_eq!(m.frames_faulted, m2.frames_faulted);
+        assert_eq!(errors, errors2);
+    }
+
+    #[test]
+    fn latency_spike_slows_deliveries_inside_its_window() {
+        use crate::faults::FaultPlan;
+        let run = |faults: Option<FaultPlan>| {
+            let (modules, services) = registries();
+            let mut scenario = Scenario::new(profile());
+            if let Some(plan) = faults {
+                scenario.inject_faults(plan);
+            }
+            let h = scenario
+                .add_pipeline(&cross_device_plan(), &modules, &services, 10.0, 1)
+                .unwrap();
+            let report = scenario.run(Duration::from_secs(5));
+            report.metrics(h).clone()
+        };
+        let healthy = run(None);
+        let spiky = run(Some(FaultPlan::new(1).with_latency_spike(
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            Duration::from_millis(200),
+        )));
+        assert!(spiky.credits_balanced(), "{spiky:?}");
+        assert!(
+            spiky.end_to_end.max_ns() > healthy.end_to_end.max_ns(),
+            "spike did not stretch latency: {} vs {}",
+            spiky.end_to_end.max_ns(),
+            healthy.end_to_end.max_ns()
+        );
+        assert!(spiky.frames_delivered < healthy.frames_delivered);
     }
 }

@@ -113,7 +113,9 @@ fn device_speed_scales_latency() {
         .with_module(ModuleSpec::new("src", "Src").with_next("sink"))
         .with_module(ModuleSpec::new("sink", "Snk"));
     let devices = vec![DeviceSpec::new("fast", 2.0)];
-    let placement = Placement::new().assign("src", "fast").assign("sink", "fast");
+    let placement = Placement::new()
+        .assign("src", "fast")
+        .assign("sink", "fast");
     let plan = plan(&spec, &devices, &placement).unwrap();
     let mut scenario = Scenario::new(profile(60, 40, 0));
     let h = scenario

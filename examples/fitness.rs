@@ -19,7 +19,16 @@ fn main() {
     let bl = run_fitness(&config, Arch::Baseline).expect("baseline run");
 
     println!("what the TV displayed (last 6 frames):");
-    for line in vp.report.logs.iter().rev().take(6).collect::<Vec<_>>().iter().rev() {
+    for line in vp
+        .report
+        .logs
+        .iter()
+        .rev()
+        .take(6)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("  {line}");
     }
 

@@ -34,7 +34,12 @@ fn run_gesture(kind: ExerciseKind) -> Arc<IotHub> {
         report.metrics(handle).end_to_end.mean_ms(),
         report.metrics(handle).frames_delivered
     );
-    for line in report.logs.iter().filter(|l| l.contains("toggling")).take(3) {
+    for line in report
+        .logs
+        .iter()
+        .filter(|l| l.contains("toggling"))
+        .take(3)
+    {
         println!("    {line}");
     }
     hub

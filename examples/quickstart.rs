@@ -39,8 +39,10 @@ struct BrightnessModule;
 impl Module for BrightnessModule {
     fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
         if let Event::Message(msg) = event {
-            let response =
-                ctx.call_service("mean_brightness", ServiceRequest::new("mean", msg.payload.clone()))?;
+            let response = ctx.call_service(
+                "mean_brightness",
+                ServiceRequest::new("mean", msg.payload.clone()),
+            )?;
             if let Payload::FrameRef(id) = msg.payload {
                 ctx.frame_store().release(id);
             }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors), tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

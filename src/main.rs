@@ -162,7 +162,15 @@ fn run_sim(
         .add_pipeline(plan, modules, services, opts.fps, opts.credits)
         .map_err(|e| e.to_string())?;
     let report = scenario.run(opts.duration);
-    for line in report.logs.iter().rev().take(8).collect::<Vec<_>>().iter().rev() {
+    for line in report
+        .logs
+        .iter()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("  {line}");
     }
     print_metrics(&plan.pipeline.name, report.metrics(handle));
@@ -197,12 +205,23 @@ fn run_local(
         opts.duration.as_secs_f64()
     );
     let report = runtime.run_for(opts.duration);
-    for line in report.logs.iter().rev().take(8).collect::<Vec<_>>().iter().rev() {
+    for line in report
+        .logs
+        .iter()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("  {line}");
     }
     print_metrics(&plan.pipeline.name, &report.metrics);
     if !report.errors.is_empty() {
-        println!("errors: {:?}", report.errors.iter().take(5).collect::<Vec<_>>());
+        println!(
+            "errors: {:?}",
+            report.errors.iter().take(5).collect::<Vec<_>>()
+        );
     }
     Ok(())
 }
@@ -233,7 +252,16 @@ fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
                     seed: opts.seed,
                 };
                 let run = run_fitness(&config, opts.arch).map_err(|e| e.to_string())?;
-                for line in run.report.logs.iter().rev().take(6).collect::<Vec<_>>().iter().rev() {
+                for line in run
+                    .report
+                    .logs
+                    .iter()
+                    .rev()
+                    .take(6)
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .rev()
+                {
                     println!("  {line}");
                 }
                 print_metrics("fitness", &run.metrics);
@@ -287,7 +315,12 @@ fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
 fn cmd_validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let spec = videopipe::core::config::parse(&text).map_err(|e| e.to_string())?;
-    println!("pipeline {:?}: {} modules, depth {}", spec.name, spec.modules.len(), spec.depth());
+    println!(
+        "pipeline {:?}: {} modules, depth {}",
+        spec.name,
+        spec.modules.len(),
+        spec.depth()
+    );
     for m in &spec.modules {
         println!(
             "  {} (include {}) services={:?} next={:?}",
@@ -323,7 +356,10 @@ fn cmd_placement() -> Result<(), String> {
         .assign("display", fitness::TV);
     let (auto, cost) =
         autoplace_pinned(&spec, &devices, &params, &pins).map_err(|e| e.to_string())?;
-    println!("\nautoplace (camera pinned to phone, display to tv): {:.1} ms", cost as f64 / 1e6);
+    println!(
+        "\nautoplace (camera pinned to phone, display to tv): {:.1} ms",
+        cost as f64 / 1e6
+    );
     for (module, device) in auto.iter() {
         println!("  {module:<22} -> {device}");
     }
@@ -351,8 +387,22 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let opts = parse(&[
-            "--arch", "baseline", "--fps", "12.5", "--duration", "3.5", "--credits", "2",
-            "--runtime", "local", "--gesture", "wave", "--pose-instances", "3", "--seed", "7",
+            "--arch",
+            "baseline",
+            "--fps",
+            "12.5",
+            "--duration",
+            "3.5",
+            "--credits",
+            "2",
+            "--runtime",
+            "local",
+            "--gesture",
+            "wave",
+            "--pose-instances",
+            "3",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert_eq!(opts.arch, Arch::Baseline);
@@ -397,9 +447,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("run") => match args.get(1) {
-            Some(app) => {
-                parse_options(&args[2..]).and_then(|opts| cmd_run(app, &opts))
-            }
+            Some(app) => parse_options(&args[2..]).and_then(|opts| cmd_run(app, &opts)),
             None => Err("run needs an app name".into()),
         },
         Some("validate") => match args.get(1) {

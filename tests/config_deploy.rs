@@ -10,8 +10,8 @@ use videopipe::sim::SimProfile;
 fn fitness_config_text_plans_and_deploys() {
     let spec = config::parse(fitness::CONFIG_TEXT).expect("parse");
     assert_eq!(spec.name, "fitness");
-    let deployment = plan(&spec, &fitness::devices(), &fitness::videopipe_placement())
-        .expect("plan");
+    let deployment =
+        plan(&spec, &fitness::devices(), &fitness::videopipe_placement()).expect("plan");
     assert_eq!(deployment.remote_binding_count(), 0);
     assert_eq!(deployment.modules_on(fitness::DESKTOP).len(), 3);
 }

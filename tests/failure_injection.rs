@@ -79,6 +79,331 @@ fn threaded_pipeline_survives_a_flaky_pose_service() {
     assert!(!report.errors.is_empty(), "faults should be reported");
 }
 
+/// Chaos matrix: fault type × transport on the threaded runtime. Every cell
+/// asserts the same envelope — the delivery target is reached (no wedge),
+/// no flow-control credit leaks, and the configured resilience mechanism is
+/// observed doing its job.
+mod chaos_matrix {
+    use super::*;
+    use std::time::Instant;
+    use videopipe::core::runtime::EdgeTransport;
+    use videopipe::core::service::{ChaosService, ServiceCost};
+    use videopipe::media::{Frame, FrameBuf, FrameStore};
+
+    struct Src;
+    impl Module for Src {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::FrameTick { t_ns } = event {
+                let frame: Frame = FrameBuf::new(16, 16).freeze(ctx.header().frame_seq, t_ns);
+                let id = ctx.frame_store().insert(frame);
+                ctx.call_module("mid", Payload::FrameRef(id))?;
+            }
+            Ok(())
+        }
+    }
+
+    struct Mid;
+    impl Module for Mid {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(msg) = event {
+                let Payload::FrameRef(id) = msg.payload else {
+                    return Err(PipelineError::BadPayload("expected frame"));
+                };
+                let frame = ctx.frame_store().get(id)?;
+                let resp = ctx.call_service(
+                    "doubler",
+                    ServiceRequest::new("double", Payload::Count(frame.seq())),
+                );
+                ctx.frame_store().release(id);
+                ctx.call_module("sink", resp?.payload)?;
+            }
+            Ok(())
+        }
+    }
+
+    struct Sink;
+    impl Module for Sink {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(_) = event {
+                ctx.signal_source()?;
+            }
+            Ok(())
+        }
+    }
+
+    struct Doubler;
+    impl Service for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn handle(
+            &self,
+            request: &ServiceRequest,
+            _store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            match request.payload {
+                Payload::Count(n) => Ok(ServiceResponse::new(Payload::Count(n * 2))),
+                ref other => Err(PipelineError::Service {
+                    service: "doubler".into(),
+                    reason: format!("expected count, got {}", other.kind_name()),
+                }),
+            }
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(1))
+        }
+    }
+
+    /// src + sink on the phone, mid + doubler on the desktop: every frame
+    /// crosses the device boundary twice, exercising both TCP directions.
+    fn deploy(
+        service: Arc<dyn Service>,
+        transport: EdgeTransport,
+        resilience: ResilienceConfig,
+    ) -> LocalRuntime {
+        let spec = PipelineSpec::new("chaos")
+            .with_module(ModuleSpec::new("src", "Src").with_next("mid"))
+            .with_module(
+                ModuleSpec::new("mid", "Mid")
+                    .with_service("doubler")
+                    .with_next("sink"),
+            )
+            .with_module(ModuleSpec::new("sink", "Sink"));
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(2)
+                .with_service("doubler"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "desktop")
+            .assign("sink", "phone");
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("Src", || Box::new(Src));
+        modules.register("Mid", || Box::new(Mid));
+        modules.register("Sink", || Box::new(Sink));
+        let mut services = ServiceRegistry::new();
+        services.install(service);
+        LocalRuntime::deploy(
+            &plan,
+            &modules,
+            &services,
+            RuntimeConfig {
+                fps: 200.0,
+                transport,
+                resilience,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Backstop for every cell: even if a frame is lost outright, its
+    /// credit lease expires instead of wedging the single-credit source.
+    fn lease() -> Option<Duration> {
+        Some(Duration::from_secs(2))
+    }
+
+    #[test]
+    fn seeded_failures_with_retries_meet_delivery_slo() {
+        for transport in [EdgeTransport::Inproc, EdgeTransport::Tcp] {
+            let chaos = Arc::new(ChaosService::probabilistic(Arc::new(Doubler), 7, 0.1));
+            let runtime = deploy(
+                chaos,
+                transport,
+                ResilienceConfig {
+                    retry: RetryPolicy::exponential(
+                        3,
+                        Duration::from_millis(1),
+                        Duration::from_millis(8),
+                    ),
+                    credit_timeout: lease(),
+                    ..ResilienceConfig::default()
+                },
+            );
+            let report = runtime.run_until_deliveries(100, Duration::from_secs(20));
+            assert!(
+                report.metrics.frames_delivered >= 100,
+                "[{transport:?}] wedged: {} delivered, errors {:?}",
+                report.metrics.frames_delivered,
+                report.errors.iter().take(3).collect::<Vec<_>>()
+            );
+            assert!(
+                report.metrics.delivery_ratio() >= 0.9,
+                "[{transport:?}] delivery ratio {:.3}",
+                report.metrics.delivery_ratio()
+            );
+            assert!(
+                report.metrics.credits_balanced(),
+                "[{transport:?}] credit leak: {:?}",
+                report.metrics
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_and_recovers_during_outage_burst() {
+        let chaos = Arc::new(ChaosService::outage(
+            Arc::new(Doubler),
+            Duration::from_millis(400),
+            Duration::from_millis(300),
+        ));
+        let runtime = deploy(
+            chaos,
+            EdgeTransport::Tcp,
+            ResilienceConfig {
+                breaker_failure_threshold: 3,
+                breaker_cooldown: Duration::from_millis(50),
+                degradation: DegradationPolicy::LastKnownGood,
+                credit_timeout: lease(),
+                ..ResilienceConfig::default()
+            },
+        );
+        let report = runtime.run_for(Duration::from_millis(1500));
+        let breaker = report
+            .breakers
+            .get("doubler")
+            .expect("breaker snapshot for doubler");
+        assert!(breaker.opened >= 1, "breaker never opened: {breaker:?}");
+        assert!(
+            breaker.reclosed >= 1,
+            "breaker never recovered half-open -> closed: {breaker:?}"
+        );
+        // Last-known-good degradation keeps frames flowing through the
+        // outage, so the delivery SLO holds across the burst.
+        assert!(
+            report.metrics.delivery_ratio() >= 0.9,
+            "delivery ratio {:.3}: {:?}",
+            report.metrics.delivery_ratio(),
+            report.metrics
+        );
+        assert!(
+            report.metrics.credits_balanced(),
+            "credit leak: {:?}",
+            report.metrics
+        );
+    }
+
+    #[test]
+    fn injected_latency_trips_typed_deadlines_without_wedging() {
+        // Every 10th call sleeps past the 25 ms deadline; with no retries
+        // those frames die with a typed timeout and return their credit.
+        let chaos = Arc::new(ChaosService::delaying(
+            Arc::new(Doubler),
+            10,
+            Duration::from_millis(60),
+        ));
+        let runtime = deploy(
+            chaos,
+            EdgeTransport::Inproc,
+            ResilienceConfig {
+                service_call_timeout: Duration::from_millis(25),
+                credit_timeout: lease(),
+                ..ResilienceConfig::default()
+            },
+        );
+        let report = runtime.run_until_deliveries(50, Duration::from_secs(20));
+        assert!(
+            report.metrics.frames_delivered >= 50,
+            "wedged: {} delivered",
+            report.metrics.frames_delivered
+        );
+        assert!(
+            report.errors.iter().any(|e| e.contains("timed out")),
+            "expected typed timeouts in {:?}",
+            report.errors.iter().take(3).collect::<Vec<_>>()
+        );
+        assert!(
+            report.metrics.delivery_ratio() >= 0.85,
+            "delivery ratio {:.3}",
+            report.metrics.delivery_ratio()
+        );
+        assert!(
+            report.metrics.credits_balanced(),
+            "credit leak: {:?}",
+            report.metrics
+        );
+    }
+
+    #[test]
+    fn panicking_service_is_supervised_and_retried() {
+        let chaos = Arc::new(ChaosService::panicking(Arc::new(Doubler), 7));
+        let runtime = deploy(
+            chaos,
+            EdgeTransport::Inproc,
+            ResilienceConfig {
+                retry: RetryPolicy::exponential(
+                    3,
+                    Duration::from_millis(1),
+                    Duration::from_millis(8),
+                ),
+                credit_timeout: lease(),
+                ..ResilienceConfig::default()
+            },
+        );
+        let report = runtime.run_until_deliveries(60, Duration::from_secs(20));
+        assert!(
+            report.metrics.frames_delivered >= 60,
+            "wedged: {} delivered, errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors.iter().take(3).collect::<Vec<_>>()
+        );
+        assert!(
+            report.metrics.delivery_ratio() >= 0.9,
+            "delivery ratio {:.3}",
+            report.metrics.delivery_ratio()
+        );
+        assert!(
+            report.metrics.credits_balanced(),
+            "credit leak: {:?}",
+            report.metrics
+        );
+    }
+
+    #[test]
+    fn tcp_disconnect_mid_stream_recovers_and_drains() {
+        let runtime = deploy(
+            Arc::new(Doubler),
+            EdgeTransport::Tcp,
+            ResilienceConfig {
+                credit_timeout: lease(),
+                ..ResilienceConfig::default()
+            },
+        );
+        // Let the stream establish, cut every TCP connection mid-flight,
+        // then require the pipeline to reach its target anyway.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut severed = 0;
+        while runtime.deliveries() < 150 && Instant::now() < deadline {
+            if severed == 0 && runtime.deliveries() >= 50 {
+                severed = runtime.inject_tcp_disconnect();
+                assert!(severed > 0, "tcp transport should have live peers");
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = runtime.finish();
+        assert!(severed > 0, "disconnect was never injected");
+        assert!(
+            report.metrics.frames_delivered >= 150,
+            "pipeline did not recover from the disconnect: {} delivered, errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors.iter().take(3).collect::<Vec<_>>()
+        );
+        assert!(
+            report.metrics.delivery_ratio() >= 0.9,
+            "delivery ratio {:.3}",
+            report.metrics.delivery_ratio()
+        );
+        assert!(
+            report.metrics.credits_balanced(),
+            "credit leak: {:?}",
+            report.metrics
+        );
+    }
+}
+
 #[test]
 fn every_frame_failing_still_returns_credits() {
     // Worst case: the pose service never succeeds. No frame is ever

@@ -162,6 +162,33 @@ proptest! {
     }
 
     #[test]
+    fn credit_controller_never_leaks_under_fault_interleavings(
+        credits in 1u32..8,
+        ops in proptest::collection::vec(0u8..3, 0..512),
+    ) {
+        // Arbitrary interleavings of admissions, completions and error-path
+        // credit returns — including spurious completions/faults with
+        // nothing in flight — must never leak a credit (in_flight stuck
+        // above what was admitted) or double-return one (in_flight
+        // exceeding credits, or accounting drift).
+        let mut fc = CreditController::new(credits);
+        for op in ops {
+            match op {
+                0 => {
+                    fc.try_admit();
+                }
+                1 => fc.complete(),
+                _ => fc.fault(),
+            }
+            prop_assert!(fc.in_flight() <= fc.credits());
+            prop_assert_eq!(
+                fc.admitted(),
+                fc.completed() + fc.faulted() + u64::from(fc.in_flight())
+            );
+        }
+    }
+
+    #[test]
     fn histogram_quantiles_are_monotone_and_bounded(samples in proptest::collection::vec(1u64..10_000_000_000, 1..200)) {
         let mut hist = LatencyHistogram::new();
         for s in &samples {

@@ -2,9 +2,7 @@
 //! (shorter runs than the benches, same calibrated profile).
 
 use std::time::Duration;
-use videopipe::apps::experiments::{
-    run_fitness, run_fitness_and_gesture, Arch, ExperimentConfig,
-};
+use videopipe::apps::experiments::{run_fitness, run_fitness_and_gesture, Arch, ExperimentConfig};
 use videopipe::sim::SimProfile;
 
 fn quick(fps: f64) -> ExperimentConfig {
@@ -22,9 +20,15 @@ fn videopipe_beats_baseline_at_all_paper_rates() {
         let bl = run_fitness(&quick(fps), Arch::Baseline).unwrap();
         assert!(vp.report.errors.is_empty(), "{:?}", vp.report.errors);
         let (v, b) = (vp.metrics.fps(), bl.metrics.fps());
-        assert!(v >= b - 0.25, "fps {fps}: VideoPipe {v:.2} vs baseline {b:.2}");
+        assert!(
+            v >= b - 0.25,
+            "fps {fps}: VideoPipe {v:.2} vs baseline {b:.2}"
+        );
         if fps >= 20.0 {
-            assert!(v > b + 1.0, "fps {fps}: expected a clear gap, got {v:.2} vs {b:.2}");
+            assert!(
+                v > b + 1.0,
+                "fps {fps}: expected a clear gap, got {v:.2} vs {b:.2}"
+            );
         }
     }
 }
@@ -70,8 +74,7 @@ fn shared_pose_service_saturates_then_scaling_restores() {
     );
     // Scale the pose pool to two instances: throughput recovers.
     let scaled_profile = SimProfile::calibrated().with_service_instances("pose_detector", 2);
-    let scaled =
-        run_fitness_and_gesture(&quick(30.0).with_profile(scaled_profile)).unwrap();
+    let scaled = run_fitness_and_gesture(&quick(30.0).with_profile(scaled_profile)).unwrap();
     assert!(
         scaled.fitness.fps() > shared.fitness.fps() + 0.5,
         "scaling should restore throughput: {:.2} -> {:.2}",

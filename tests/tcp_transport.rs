@@ -69,7 +69,9 @@ fn service_request_roundtrip_over_tcp() {
 
     // Client sends a request with a reply address; a server thread answers.
     let server = std::thread::spawn(move || {
-        let msg = listener.recv_timeout(Duration::from_secs(5)).expect("request");
+        let msg = listener
+            .recv_timeout(Duration::from_secs(5))
+            .expect("request");
         let request = ServiceRequest::decode(&msg.payload).expect("decode request");
         assert_eq!(request.op, "classify");
         let response = ServiceResponse::new(Payload::Label {
