@@ -74,7 +74,9 @@ fn bench_kmeans(c: &mut Criterion) {
     let samples: Vec<Vec<f32>> = (0..300)
         .map(|i| {
             let base = if i % 2 == 0 { 0.0 } else { 5.0 };
-            (0..34).map(|_| base + rng.gen_range(-0.5..0.5)).collect()
+            (0..34)
+                .map(|_| base + rng.gen_range(-0.5f32..0.5))
+                .collect()
         })
         .collect();
     c.bench_function("kmeans/fit_k2_300x34", |b| {

@@ -1,0 +1,323 @@
+//! Hot-path performance snapshot, emitted as machine-readable JSON.
+//!
+//! Measures the four surfaces the hot-path overhaul touched — codec
+//! kernels (word-wide vs the scalar reference oracle), per-(frame,
+//! quality) encode caching under fan-out, inproc transport roundtrips,
+//! and multi-executor request draining — and writes the results to
+//! `BENCH_PR2.json` (override with `--out`). `--quick` shrinks iteration
+//! counts so the run doubles as a CI smoke test.
+//!
+//! Run with `scripts/bench_snapshot.sh` or directly:
+//! `cargo run --release -p videopipe-bench --bin bench_snapshot -- --quick`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use videopipe_media::scene::SceneRenderer;
+use videopipe_media::{codec, FrameStore, Pose};
+use videopipe_net::{InprocHub, MsgReceiver, MsgSender, WireMessage};
+
+struct Args {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_PR2.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--out requires a path; usage: bench_snapshot [--quick] [--out PATH]"
+                    );
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: bench_snapshot [--quick] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Median-of-runs wall time for `iters` calls of `f`, in seconds.
+fn time_iters(iters: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up, then take the best of three batches to shave scheduler noise.
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn improvement_pct(before: f64, after: f64) -> f64 {
+    if before <= 0.0 {
+        0.0
+    } else {
+        (after - before) / before * 100.0
+    }
+}
+
+/// Codec throughput: the word-wide kernels against the scalar oracle.
+fn codec_section(quick: bool, out: &mut String) {
+    let frame = SceneRenderer::new(320, 240).render(&Pose::default(), 0, 0);
+    let quality = codec::Quality::default();
+    let iters = if quick { 60 } else { 400 };
+    let raw_mb = frame.raw_size() as f64 / 1e6;
+
+    let scalar_s = time_iters(iters, || {
+        std::hint::black_box(codec::encode_scalar(&frame, quality));
+    });
+    let word_s = time_iters(iters, || {
+        std::hint::black_box(codec::encode(&frame, quality));
+    });
+    let encode_scalar_mb_s = raw_mb * iters as f64 / scalar_s;
+    let encode_word_mb_s = raw_mb * iters as f64 / word_s;
+
+    let encoded = codec::encode(&frame, quality);
+    let dec_scalar_s = time_iters(iters, || {
+        std::hint::black_box(codec::decode_scalar(&encoded).unwrap());
+    });
+    let dec_word_s = time_iters(iters, || {
+        std::hint::black_box(codec::decode(&encoded).unwrap());
+    });
+    let decode_scalar_mb_s = raw_mb * iters as f64 / dec_scalar_s;
+    let decode_word_mb_s = raw_mb * iters as f64 / dec_word_s;
+
+    println!(
+        "encode 320x240: scalar {encode_scalar_mb_s:.1} MB/s -> word {encode_word_mb_s:.1} MB/s \
+         ({:+.1}%)",
+        improvement_pct(encode_scalar_mb_s, encode_word_mb_s)
+    );
+    println!(
+        "decode 320x240: scalar {decode_scalar_mb_s:.1} MB/s -> word {decode_word_mb_s:.1} MB/s \
+         ({:+.1}%)",
+        improvement_pct(decode_scalar_mb_s, decode_word_mb_s)
+    );
+
+    let _ = write!(
+        out,
+        r#"  "encode": {{"scalar_mb_s": {encode_scalar_mb_s:.1}, "word_mb_s": {encode_word_mb_s:.1}, "improvement_pct": {:.1}}},
+  "decode": {{"scalar_mb_s": {decode_scalar_mb_s:.1}, "word_mb_s": {decode_word_mb_s:.1}, "improvement_pct": {:.1}}},
+"#,
+        improvement_pct(encode_scalar_mb_s, encode_word_mb_s),
+        improvement_pct(decode_scalar_mb_s, decode_word_mb_s),
+    );
+}
+
+/// Fan-out transcoding: N remote destinations with and without the store's
+/// per-(frame, quality) encode cache.
+fn fanout_section(quick: bool, out: &mut String) {
+    const DESTINATIONS: usize = 8;
+    let frame = SceneRenderer::new(320, 240).render(&Pose::default(), 1, 0);
+    let quality = codec::Quality::default();
+    let iters = if quick { 40 } else { 200 };
+
+    let uncached_s = time_iters(iters, || {
+        for _ in 0..DESTINATIONS {
+            std::hint::black_box(codec::encode(&frame, quality));
+        }
+    });
+    let store = FrameStore::with_capacity(4);
+    let id = store.insert(frame);
+    let cached_s = time_iters(iters, || {
+        for _ in 0..DESTINATIONS {
+            std::hint::black_box(store.encoded(id, quality).unwrap());
+        }
+    });
+    let uncached_us = uncached_s / iters as f64 * 1e6;
+    let cached_us = cached_s / iters as f64 * 1e6;
+    println!(
+        "fan-out x{DESTINATIONS}: encode-per-destination {uncached_us:.1} us -> cached \
+         {cached_us:.1} us ({:+.1}% time)",
+        improvement_pct(uncached_us, cached_us)
+    );
+    let _ = write!(
+        out,
+        r#"  "fanout_x{DESTINATIONS}": {{"encode_each_us": {uncached_us:.1}, "cached_us": {cached_us:.1}, "speedup_x": {:.1}}},
+"#,
+        uncached_us / cached_us.max(1e-9),
+    );
+}
+
+/// Spawns an echo executor on `hub` answering requests on `channel`.
+fn spawn_echo(
+    hub: &InprocHub,
+    channel: &str,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let rx = hub.bind(channel).expect("bind echo channel");
+    let hub = hub.clone();
+    std::thread::spawn(move || {
+        while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(msg) => {
+                    let reply = WireMessage::response_to(&msg, msg.payload.clone());
+                    if let Ok(tx) = hub.connect(&reply.channel.clone()) {
+                        let _ = tx.send(reply);
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+    })
+}
+
+/// Inproc request/response roundtrips: the service-call wire path minus
+/// the handler, at a control-message and an encoded-frame payload size.
+fn roundtrip_section(quick: bool, out: &mut String) {
+    let samples = if quick { 400 } else { 3000 };
+    let hub = InprocHub::new();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let echo = spawn_echo(&hub, "svc", std::sync::Arc::clone(&stop));
+    let reply_rx = hub.bind("reply").expect("bind reply");
+    let tx = hub.connect("svc").expect("connect svc");
+
+    let frame = SceneRenderer::new(320, 240).render(&Pose::default(), 2, 0);
+    let encoded = codec::encode(&frame, codec::Quality::default());
+    let measure = |payload: bytes::Bytes| -> Vec<f64> {
+        let mut us = Vec::with_capacity(samples);
+        for corr in 0..samples as u64 {
+            let start = Instant::now();
+            tx.send(WireMessage::request("svc", "reply", corr, payload.clone()))
+                .expect("send request");
+            let resp = reply_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("echo reply");
+            assert_eq!(resp.corr_id, corr);
+            us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        us.sort_by(f64::total_cmp);
+        us
+    };
+
+    let encoded_len = encoded.len();
+    let small = measure(bytes::Bytes::from_static(b"ping"));
+    let framed = measure(encoded);
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = echo.join();
+
+    let small_p50 = percentile(&small, 50.0);
+    let small_p99 = percentile(&small, 99.0);
+    let frame_p50 = percentile(&framed, 50.0);
+    let frame_p99 = percentile(&framed, 99.0);
+    println!("inproc roundtrip 4 B: p50 {small_p50:.1} us, p99 {small_p99:.1} us");
+    println!(
+        "inproc roundtrip {encoded_len} B (encoded frame): p50 {frame_p50:.1} us, p99 {frame_p99:.1} us"
+    );
+    let _ = write!(
+        out,
+        r#"  "inproc_roundtrip": {{"small_p50_us": {small_p50:.1}, "small_p99_us": {small_p99:.1}}},
+  "service_call": {{"p50_us": {frame_p50:.1}, "p99_us": {frame_p99:.1}}},
+"#,
+    );
+}
+
+/// Drains a burst of requests through `consumers` competing executors
+/// (cloned MPMC receivers), each simulating ~30 us of handler work.
+/// Returns requests per second.
+fn drain_throughput(consumers: usize, requests: usize) -> f64 {
+    let hub = InprocHub::new();
+    let pool_rx = hub.bind("pool").expect("bind pool");
+    let done_rx = hub.bind("done").expect("bind done");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..consumers {
+        let rx = pool_rx.clone();
+        let hub = hub.clone();
+        let stop = std::sync::Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let done_tx = hub.connect("done").expect("connect done");
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                match rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(msg) => {
+                        // Emulated handler cost, CPU-bound like a real one.
+                        let t = Instant::now();
+                        while t.elapsed() < Duration::from_micros(30) {
+                            std::hint::spin_loop();
+                        }
+                        let _ = done_tx.send(WireMessage::signal("done", msg.seq));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }));
+    }
+    let tx = hub.connect("pool").expect("connect pool");
+    let start = Instant::now();
+    for seq in 0..requests as u64 {
+        tx.send(WireMessage::signal("pool", seq)).expect("enqueue");
+    }
+    for _ in 0..requests {
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("drain completion");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for w in workers {
+        let _ = w.join();
+    }
+    requests as f64 / elapsed
+}
+
+/// Multi-executor dispatch throughput at 1 vs 4 competing executors.
+fn executor_section(quick: bool, out: &mut String) {
+    let requests = if quick { 1500 } else { 8000 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let rps1 = drain_throughput(1, requests);
+    let rps4 = drain_throughput(4, requests);
+    println!(
+        "executor drain ({requests} reqs, ~30 us work, {cores} cores): 1 executor \
+         {rps1:.0} req/s -> 4 executors {rps4:.0} req/s ({:+.1}%)",
+        improvement_pct(rps1, rps4)
+    );
+    let _ = write!(
+        out,
+        r#"  "multi_executor": {{"cores": {cores}, "one_executor_rps": {rps1:.0}, "four_executor_rps": {rps4:.0}, "improvement_pct": {:.1}}}
+"#,
+        improvement_pct(rps1, rps4),
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "hot-path snapshot ({} mode) -> {}",
+        if args.quick { "quick" } else { "full" },
+        args.out
+    );
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {},", args.quick);
+    codec_section(args.quick, &mut json);
+    fanout_section(args.quick, &mut json);
+    roundtrip_section(args.quick, &mut json);
+    executor_section(args.quick, &mut json);
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write snapshot json");
+    println!("wrote {}", args.out);
+}

@@ -140,11 +140,40 @@ impl fmt::Display for LatencyHistogram {
     }
 }
 
+/// Per-service-host dispatch counters, keyed by `device/service`.
+///
+/// Filled by the runtime's executor pools: they prove (or disprove) that
+/// requests spread across executors instead of serialising behind a shared
+/// inbox lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Requests executed by this service host.
+    pub requests: u64,
+    /// Total wall time executors spent handling requests (ns).
+    pub busy_ns: u64,
+    /// Deepest request backlog observed at dequeue time.
+    pub max_queue_depth: u64,
+}
+
+impl DispatchStats {
+    /// Mean handling time per request in milliseconds (0 when idle).
+    pub fn mean_busy_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.requests as f64 / 1e6
+        }
+    }
+}
+
 /// Metrics for one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineMetrics {
     /// Per-stage processing latency, keyed by module name.
     pub stages: BTreeMap<String, LatencyHistogram>,
+    /// Per-service-host executor dispatch counters, keyed by
+    /// `device/service`.
+    pub dispatch: BTreeMap<String, DispatchStats>,
     /// End-to-end latency (capture → final module done).
     pub end_to_end: LatencyHistogram,
     /// Frames delivered all the way to the sink.
@@ -181,6 +210,15 @@ impl PipelineMetrics {
     /// Records a stage latency sample.
     pub fn record_stage(&mut self, stage: &str, ns: u64) {
         self.stages.entry(stage.to_string()).or_default().record(ns);
+    }
+
+    /// Records one executed service request: how long the executor was busy
+    /// and how deep the request queue was when the request was dequeued.
+    pub fn record_dispatch(&mut self, host: &str, busy_ns: u64, queue_depth: u64) {
+        let stats = self.dispatch.entry(host.to_string()).or_default();
+        stats.requests += 1;
+        stats.busy_ns += busy_ns;
+        stats.max_queue_depth = stats.max_queue_depth.max(queue_depth);
     }
 
     /// Records an end-to-end delivery at pipeline time `now_ns` with the
@@ -268,6 +306,12 @@ impl PipelineMetrics {
     pub fn merge(&mut self, other: &PipelineMetrics) {
         for (stage, hist) in &other.stages {
             self.stages.entry(stage.clone()).or_default().merge(hist);
+        }
+        for (host, stats) in &other.dispatch {
+            let mine = self.dispatch.entry(host.clone()).or_default();
+            mine.requests += stats.requests;
+            mine.busy_ns += stats.busy_ns;
+            mine.max_queue_depth = mine.max_queue_depth.max(stats.max_queue_depth);
         }
         self.end_to_end.merge(&other.end_to_end);
         self.frames_delivered += other.frames_delivered;
@@ -420,6 +464,26 @@ mod tests {
         assert!((m.delivery_ratio() - 0.8).abs() < 1e-9);
         m.frames_faulted = 0; // one credit unaccounted for → leak
         assert!(!m.credits_balanced());
+    }
+
+    #[test]
+    fn dispatch_stats_record_and_merge() {
+        let mut a = PipelineMetrics::new();
+        a.record_dispatch("dev/svc", 2_000_000, 3);
+        a.record_dispatch("dev/svc", 4_000_000, 1);
+        assert_eq!(a.dispatch["dev/svc"].requests, 2);
+        assert_eq!(a.dispatch["dev/svc"].busy_ns, 6_000_000);
+        assert_eq!(a.dispatch["dev/svc"].max_queue_depth, 3);
+        assert!((a.dispatch["dev/svc"].mean_busy_ms() - 3.0).abs() < 1e-9);
+
+        let mut b = PipelineMetrics::new();
+        b.record_dispatch("dev/svc", 1_000_000, 9);
+        b.record_dispatch("dev/other", 1_000_000, 0);
+        a.merge(&b);
+        assert_eq!(a.dispatch["dev/svc"].requests, 3);
+        assert_eq!(a.dispatch["dev/svc"].max_queue_depth, 9);
+        assert_eq!(a.dispatch["dev/other"].requests, 1);
+        assert_eq!(DispatchStats::default().mean_busy_ms(), 0.0);
     }
 
     #[test]

@@ -189,8 +189,10 @@ struct LocalCtx {
     corr: u64,
     reply_rx: videopipe_net::InprocReceiver,
     /// Last successful response per service, for
-    /// [`DegradationPolicy::LastKnownGood`].
-    lkg: HashMap<String, ServiceResponse>,
+    /// [`DegradationPolicy::LastKnownGood`]. Stored in encoded form: the
+    /// per-success insert is then an O(1) refcount bump of the wire bytes,
+    /// and the (rare) degraded path pays the decode.
+    lkg: HashMap<String, bytes::Bytes>,
     /// Deterministic per-module retry jitter stream.
     jitter: SeededJitter,
 }
@@ -211,14 +213,15 @@ impl LocalCtx {
     }
 
     /// One request/response exchange with a service executor, bounded by
-    /// the configured per-call deadline.
+    /// the configured per-call deadline. Returns the decoded response plus
+    /// its raw wire bytes (shared, for the last-known-good cache).
     fn attempt_service_call(
         &mut self,
         service: &str,
         channel: &str,
         remote: bool,
         bytes: bytes::Bytes,
-    ) -> Result<ServiceResponse, PipelineError> {
+    ) -> Result<(ServiceResponse, bytes::Bytes), PipelineError> {
         if remote {
             // Emulated request transfer (sender-side: the module blocks on
             // the round trip anyway).
@@ -264,7 +267,7 @@ impl LocalCtx {
                             reason: reason.clone(),
                         });
                     }
-                    return Ok(resp);
+                    return Ok((resp, msg.payload));
                 }
                 // Stale responses to timed-out attempts carry old corr ids.
                 Ok(_stale) => continue,
@@ -307,7 +310,11 @@ impl LocalCtx {
     ) -> Result<ServiceResponse, PipelineError> {
         if self.shared.config.resilience.degradation == DegradationPolicy::LastKnownGood {
             if let Some(cached) = self.lkg.get(service) {
-                return Ok(cached.clone());
+                // Cached in wire form; decoding here keeps the success path
+                // free of deep response clones.
+                if let Ok(resp) = ServiceResponse::decode(cached) {
+                    return Ok(resp);
+                }
             }
         }
         Err(err)
@@ -338,26 +345,36 @@ impl ModuleCtx for LocalCtx {
                 },
             );
         }
-        // A frame reference cannot leave its device: encode for remote calls.
+        // A frame reference cannot leave its device: encode for remote
+        // calls — at most once per (frame, quality), via the store's
+        // transcoding cache. A frame fanned out to N remote destinations
+        // (or retried M times) runs the codec exactly once; everyone else
+        // gets a refcount bump of the same buffer.
         if remote {
             if let Payload::FrameRef(id) = request.payload {
-                let frame = self.store().get(id)?;
-                let encoded = codec::encode(&frame, self.shared.config.codec_quality);
+                let encoded = self.store().encoded(id, self.shared.config.codec_quality)?;
                 request.payload = Payload::EncodedFrame(encoded);
             }
         }
-        let bytes = request.encode();
+        let mut bytes = request.encode();
         let max_attempts = resilience.retry.max_attempts.max(1);
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match self.attempt_service_call(service, &channel, remote, bytes.clone()) {
-                Ok(resp) => {
+            // Attempts share the serialized request by refcount; the final
+            // attempt moves it instead of cloning.
+            let attempt_bytes = if attempt >= max_attempts {
+                std::mem::take(&mut bytes)
+            } else {
+                bytes.clone()
+            };
+            match self.attempt_service_call(service, &channel, remote, attempt_bytes) {
+                Ok((resp, raw)) => {
                     if resilience.breaker_enabled() {
                         self.breaker_record(service, true);
                     }
                     if resilience.degradation == DegradationPolicy::LastKnownGood {
-                        self.lkg.insert(service.to_string(), resp.clone());
+                        self.lkg.insert(service.to_string(), raw);
                     }
                     return Ok(resp);
                 }
@@ -390,8 +407,9 @@ impl ModuleCtx for LocalCtx {
         })?;
         if cross_device {
             if let Payload::FrameRef(id) = payload {
-                let frame = self.store().get(id)?;
-                let encoded = codec::encode(&frame, self.shared.config.codec_quality);
+                // Cached transcode: a frame forwarded to several
+                // cross-device successors is encoded once, not per edge.
+                let encoded = self.store().encoded(id, self.shared.config.codec_quality)?;
                 payload = Payload::EncodedFrame(encoded);
             }
             let bytes = payload.size_hint() as u64;
@@ -596,10 +614,12 @@ impl LocalRuntime {
                 .device(&device)
                 .ok_or_else(|| PipelineError::Deploy(format!("unknown device {device:?}")))?;
             let executors = dev_spec.cores.max(1);
+            // Each executor gets its own clone of the MPMC inbox: requests
+            // are pulled straight off the shared queue with no mutex
+            // hand-off, so executors never contend on a lock to dequeue.
             let inbox = hub.bind(&svc_chan(&device, &service))?;
-            let inbox = Arc::new(Mutex::new(inbox));
             for ex in 0..executors {
-                let inbox = Arc::clone(&inbox);
+                let inbox = inbox.clone();
                 let image = Arc::clone(&image);
                 let shared = Arc::clone(&shared);
                 let device = device.clone();
@@ -758,6 +778,12 @@ impl LocalRuntime {
         self.shared.restarts.load(Ordering::Relaxed)
     }
 
+    /// Frame-store counters for `device`, including the encode-cache
+    /// hit/miss tallies (diagnostics and tests).
+    pub fn frame_store_stats(&self, device: &str) -> Option<videopipe_media::FrameStoreStats> {
+        self.shared.stores.get(device).map(|s| s.stats())
+    }
+
     /// Chaos hook: severs every cross-device TCP connection mid-stream, as
     /// if the Wi-Fi link blipped (`Tcp` transport only; a no-op in `Inproc`
     /// mode). Senders carry a reconnect policy, so traffic buffers and
@@ -826,23 +852,23 @@ const POLL: Duration = Duration::from_millis(20);
 
 fn service_executor_loop(
     shared: Arc<Shared>,
-    inbox: Arc<Mutex<videopipe_net::InprocReceiver>>,
+    inbox: videopipe_net::InprocReceiver,
     image: Arc<dyn crate::service::Service>,
     device: String,
     speed: f64,
 ) {
+    let host = format!("{device}/{}", image.name());
     while !shared.stop.load(Ordering::SeqCst) {
-        // Take one request while holding the lock only for the receive.
-        let msg = {
-            let rx = inbox.lock();
-            match rx.recv_timeout(POLL) {
-                Ok(m) => m,
-                Err(_) => continue,
-            }
+        let msg = match inbox.recv_timeout(POLL) {
+            Ok(m) => m,
+            Err(_) => continue,
         };
         if msg.kind != MessageKind::Request {
             continue;
         }
+        // Backlog still queued behind this request, sampled at dequeue.
+        let queue_depth = inbox.pending() as u64;
+        let started = Instant::now();
         let response = match ServiceRequest::decode(&msg.payload) {
             Ok(mut request) => {
                 // Cross-device frames arrive encoded; decode into the local
@@ -887,8 +913,12 @@ fn service_executor_loop(
                     .send_from(&device, WireMessage::response_to(&msg, resp.encode()));
             }
             Err(e) => {
+                // A handler failure is not yet a pipeline error: the typed
+                // error response below lets the caller retry, and only an
+                // *unrecovered* failure is recorded (by the module loop).
+                // Keep a log line for diagnostics.
                 shared
-                    .errors
+                    .logs
                     .lock()
                     .push(format!("service {}: {e}", image.name()));
                 // Reply with a typed error payload so the caller fails fast
@@ -902,6 +932,11 @@ fn service_executor_loop(
                 );
             }
         }
+        let busy_ns = started.elapsed().as_nanos() as u64;
+        shared
+            .metrics
+            .lock()
+            .record_dispatch(&host, busy_ns, queue_depth);
     }
 }
 
@@ -1270,6 +1305,14 @@ mod tests {
         assert!(report.metrics.stages.contains_key("mid"));
         assert!(report.metrics.stages.contains_key("sink"));
         assert!(report.metrics.fps() > 0.0);
+        // Executor dispatch counters flowed into the report.
+        let dispatch = report
+            .metrics
+            .dispatch
+            .get("one/doubler")
+            .expect("dispatch stats for the doubler host");
+        assert!(dispatch.requests >= 10, "{dispatch:?}");
+        assert!(dispatch.busy_ns > 0, "{dispatch:?}");
     }
 
     #[test]
@@ -1325,6 +1368,97 @@ mod tests {
             report.errors
         );
         assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+
+    /// Middle module that sends the *same frame* to the remote service
+    /// twice per tick — the fan-out pattern the encode cache exists for.
+    struct FanoutMid;
+    impl Module for FanoutMid {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(msg) = event {
+                let Payload::FrameRef(id) = msg.payload else {
+                    return Err(PipelineError::BadPayload("expected frame"));
+                };
+                for _ in 0..2 {
+                    ctx.call_service("doubler", ServiceRequest::new("eat", Payload::FrameRef(id)))?;
+                }
+                ctx.frame_store().release(id);
+                ctx.call_module("sink", Payload::Count(1))?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Service that accepts any payload (frames included) and answers with
+    /// a count.
+    struct FrameEater;
+    impl Service for FrameEater {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn handle(
+            &self,
+            request: &ServiceRequest,
+            store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            if let Payload::FrameRef(id) = request.payload {
+                store.release(id);
+            }
+            Ok(ServiceResponse::new(Payload::Count(1)))
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(1))
+        }
+    }
+
+    #[test]
+    fn remote_fan_out_hits_the_encode_cache() {
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(2)
+                .with_service("doubler"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "phone")
+            .assign("sink", "phone");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(FanoutMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(FrameEater));
+        let config = RuntimeConfig {
+            fps: 200.0,
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while runtime.deliveries() < 10 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = runtime
+            .frame_store_stats("phone")
+            .expect("phone frame store");
+        let report = runtime.finish();
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        // Two remote calls per frame, one codec run per frame: the second
+        // call must hit the cache.
+        assert!(
+            stats.encode_hits >= 10,
+            "expected >=10 encode-cache hits, got {stats:?}"
+        );
+        assert!(
+            stats.encode_misses <= stats.inserted,
+            "at most one encode per frame: {stats:?}"
+        );
     }
 
     #[test]
@@ -1635,6 +1769,154 @@ mod tests {
         assert!(
             report.errors.iter().any(|e| e.contains("panicked")),
             "{:?}",
+            report.errors
+        );
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    /// Middle module that fires a burst of uniquely-tagged requests per
+    /// frame at the shared executor pool.
+    struct BurstMid;
+    impl Module for BurstMid {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(msg) = event {
+                let Payload::FrameRef(id) = msg.payload else {
+                    return Err(PipelineError::BadPayload("expected frame"));
+                };
+                let base = ctx.frame_store().get(id)?.seq() * 100;
+                for i in 0..6 {
+                    let resp = ctx.call_service(
+                        "doubler",
+                        ServiceRequest::new("tag", Payload::Count(base + i)),
+                    )?;
+                    // The executor must answer *this* request, not a
+                    // neighbour's.
+                    assert!(matches!(resp.payload, Payload::Count(n) if n == base + i));
+                }
+                ctx.frame_store().release(id);
+                ctx.call_module("sink", Payload::Count(1))?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Echo service that records every tag it executes.
+    struct RecordingService {
+        seen: Arc<Mutex<Vec<u64>>>,
+    }
+    impl Service for RecordingService {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn handle(
+            &self,
+            request: &ServiceRequest,
+            _store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            match request.payload {
+                Payload::Count(n) => {
+                    self.seen.lock().push(n);
+                    Ok(ServiceResponse::new(Payload::Count(n)))
+                }
+                ref other => Err(crate::service::wrong_payload("doubler", "count", other)),
+            }
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(1))
+        }
+    }
+
+    #[test]
+    fn executor_pool_drains_bursts_exactly_once() {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(4)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(BurstMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(RecordingService {
+            seen: Arc::clone(&seen),
+        }));
+        let config = RuntimeConfig {
+            fps: 200.0,
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_until_deliveries(12, Duration::from_secs(10));
+        assert!(
+            report.metrics.frames_delivered >= 12,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
+            report.errors
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let mut tags = seen.lock().clone();
+        assert!(tags.len() >= 6 * 12, "only {} executions", tags.len());
+        let executed = tags.len();
+        tags.sort_unstable();
+        tags.dedup();
+        // No tag executed twice: four competing executors on one MPMC
+        // queue must not double-deliver...
+        assert_eq!(tags.len(), executed, "a request was executed twice");
+        // ...and the load actually spread across more than one executor.
+        let busy_hosts = report
+            .metrics
+            .dispatch
+            .get("one/doubler")
+            .expect("dispatch stats");
+        assert!(busy_hosts.requests as usize >= executed);
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn executor_pool_survives_panicking_service() {
+        // Every 5th request panics its executor's handler: supervision
+        // converts the panic into a typed error, retries recover, and the
+        // pool keeps draining — the chaos matrix extended to N competing
+        // executors.
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(4)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(TestMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(crate::service::ChaosService::panicking(
+            Arc::new(Doubler),
+            5,
+        )));
+        let config = RuntimeConfig {
+            fps: 200.0,
+            resilience: ResilienceConfig {
+                retry: crate::resilience::RetryPolicy::exponential(
+                    4,
+                    Duration::from_millis(1),
+                    Duration::from_millis(5),
+                ),
+                ..ResilienceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_until_deliveries(10, Duration::from_secs(10));
+        assert!(
+            report.metrics.frames_delivered >= 10,
+            "delivered {} errors {:?}",
+            report.metrics.frames_delivered,
             report.errors
         );
         assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);

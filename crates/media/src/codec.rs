@@ -14,6 +14,17 @@
 //! Typical synthetic frames compress 30–80x, making the modeled Wi-Fi
 //! transfer times realistic for "compressed video frame" payloads.
 //!
+//! # Kernels
+//!
+//! The default [`encode`]/[`decode`] pair runs word-wide kernels: the
+//! quantise and row-delta passes process eight pixels per `u64` operation,
+//! the RLE scan skips through runs with 8-byte broadcast compares, and the
+//! per-thread delta plane is pooled so steady-state encoding does not
+//! allocate scratch. [`encode_scalar`]/[`decode_scalar`] keep the original
+//! byte-at-a-time implementation as the reference oracle; the word-wide
+//! kernels are required (and property-tested) to be **byte-identical** to
+//! it for every frame and quality.
+//!
 //! # Example
 //!
 //! ```
@@ -29,6 +40,7 @@
 use crate::error::MediaError;
 use crate::frame::Frame;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::cell::RefCell;
 
 /// Magic bytes at the start of every encoded frame.
 pub const MAGIC: [u8; 4] = *b"VPF1";
@@ -119,8 +131,248 @@ fn get_varint(buf: &mut impl Buf) -> Result<u64, MediaError> {
     }
 }
 
+fn put_header(out: &mut BytesMut, frame: &Frame, shift: u8) {
+    out.put_slice(&MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(shift);
+    out.put_u32(frame.width());
+    out.put_u32(frame.height());
+    put_varint(out, frame.seq());
+    put_varint(out, frame.timestamp_ns());
+}
+
+// ---------------------------------------------------------------------------
+// Word-wide kernels (hot path)
+// ---------------------------------------------------------------------------
+
+/// Broadcasts a byte into all eight lanes of a `u64`.
+#[inline]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * 0x0101_0101_0101_0101
+}
+
+/// Quantises `pixels` into `out` (`out[i] = pixels[i] >> shift`), eight
+/// pixels per `u64` operation. Shifting the whole word leaks each byte's low
+/// bits into its lower neighbour's high bits; masking every lane with
+/// `0xFF >> shift` clears exactly those leaked bits.
+#[inline]
+fn quantise_words(pixels: &[u8], shift: u8, out: &mut [u8]) {
+    debug_assert_eq!(pixels.len(), out.len());
+    if shift == 0 {
+        out.copy_from_slice(pixels);
+        return;
+    }
+    let mask = splat(0xFF >> shift);
+    let mut src = pixels.chunks_exact(8);
+    let mut dst = out.chunks_exact_mut(8);
+    for (s, d) in (&mut src).zip(&mut dst) {
+        let w = u64::from_le_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&((w >> shift) & mask).to_le_bytes());
+    }
+    for (s, d) in src.remainder().iter().zip(dst.into_remainder()) {
+        *d = s >> shift;
+    }
+}
+
+/// XORs `row` with `prev` in place, eight bytes per operation.
+#[inline]
+fn xor_rows(row: &mut [u8], prev: &[u8]) {
+    debug_assert_eq!(row.len(), prev.len());
+    let mut dst = row.chunks_exact_mut(8);
+    let mut src = prev.chunks_exact(8);
+    for (d, s) in (&mut dst).zip(&mut src) {
+        let a = u64::from_le_bytes((&*d).try_into().unwrap());
+        let b = u64::from_le_bytes(s.try_into().unwrap());
+        d.copy_from_slice(&(a ^ b).to_le_bytes());
+    }
+    for (d, s) in dst.into_remainder().iter_mut().zip(src.remainder()) {
+        *d ^= s;
+    }
+}
+
+/// RLE-encodes `delta` into `out` as `(varint run, value)` pairs, skipping
+/// through runs with 8-byte broadcast compares. Produces the exact maximal
+/// runs the scalar scan does.
+#[inline]
+fn rle_words(delta: &[u8], out: &mut BytesMut) {
+    let n = delta.len();
+    let mut i = 0;
+    while i < n {
+        let value = delta[i];
+        let word = splat(value);
+        let mut j = i + 1;
+        while j + 8 <= n && u64::from_le_bytes(delta[j..j + 8].try_into().unwrap()) == word {
+            j += 8;
+        }
+        while j < n && delta[j] == value {
+            j += 1;
+        }
+        put_varint(out, (j - i) as u64);
+        out.put_u8(value);
+        i = j;
+    }
+}
+
+struct Scratch {
+    /// Quantised/delta plane reused across frames on this thread.
+    delta: Vec<u8>,
+    /// Output accumulator; `split().freeze()` hands the filled bytes out.
+    out: BytesMut,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            delta: Vec::new(),
+            out: BytesMut::new(),
+        })
+    };
+}
+
 /// Encodes a frame. Infallible: any frame can be encoded at any quality.
+///
+/// Runs the word-wide kernels on pooled per-thread scratch; output is
+/// byte-identical to [`encode_scalar`].
 pub fn encode(frame: &Frame, quality: Quality) -> Bytes {
+    let width = frame.width() as usize;
+    let height = frame.height() as usize;
+    let shift = quality.shift;
+    let pixels = frame.pixels();
+
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let out = &mut scratch.out;
+        out.reserve(64 + pixels.len() / 16);
+        put_header(out, frame, shift);
+
+        // Quantise eight pixels per word into the pooled delta plane, then
+        // XOR each row with the one above bottom-up so the plane can be
+        // transformed in place without a second buffer.
+        let delta = &mut scratch.delta;
+        delta.resize(pixels.len(), 0);
+        quantise_words(pixels, shift, delta);
+        for row in (1..height).rev() {
+            let (above, cur) = delta.split_at_mut(row * width);
+            xor_rows(&mut cur[..width], &above[(row - 1) * width..]);
+        }
+
+        rle_words(delta, out);
+        out.split().freeze()
+    })
+}
+
+/// Decodes an encoded frame.
+///
+/// Word-wide counterpart of [`decode_scalar`]: run-fills the delta plane
+/// directly into the output pixel buffer, undoes the row delta eight bytes
+/// per XOR, then dequantises through a 256-entry lookup table. Produces
+/// frames byte-identical to the scalar path.
+///
+/// # Errors
+///
+/// Returns [`MediaError`] if the buffer is truncated, has bad magic, an
+/// unsupported version, implausible dimensions, or an inconsistent pixel
+/// count.
+pub fn decode(encoded: &[u8]) -> Result<Frame, MediaError> {
+    let mut buf = encoded;
+    let (width, height, shift, seq, timestamp_ns) = decode_header(&mut buf)?;
+
+    // Run-fill straight into the buffer the frame will own.
+    let total = width as usize * height as usize;
+    let mut pixels = Vec::with_capacity(total);
+    while pixels.len() < total {
+        let run = get_varint(&mut buf)? as usize;
+        if !buf.has_remaining() {
+            return Err(MediaError::Truncated {
+                available: 0,
+                needed: 1,
+            });
+        }
+        let value = buf.get_u8();
+        if run == 0 || pixels.len() + run > total {
+            return Err(MediaError::PixelCountMismatch {
+                expected: total,
+                actual: pixels.len() + run,
+            });
+        }
+        pixels.resize(pixels.len() + run, value);
+    }
+
+    // Undo the row delta top-down (each row XORs the already-recovered row
+    // above), then widen quantised values back to band centres via LUT.
+    let w = width as usize;
+    for row in 1..height as usize {
+        let (above, cur) = pixels.split_at_mut(row * w);
+        xor_rows(&mut cur[..w], &above[(row - 1) * w..]);
+    }
+    let lut = dequant_lut(shift);
+    for p in &mut pixels {
+        *p = lut[*p as usize];
+    }
+
+    Ok(Frame::from_pixels(width, height, pixels, seq, timestamp_ns))
+}
+
+/// Reconstruction table: quantised value → band-centre pixel value.
+#[inline]
+fn dequant_lut(shift: u8) -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    for (q, slot) in lut.iter_mut().enumerate() {
+        let q = q as u8;
+        *slot = if shift == 0 {
+            q
+        } else {
+            (q << shift) | ((1u8 << shift) / 2 * u8::from(q != 0))
+        };
+    }
+    lut
+}
+
+fn decode_header(buf: &mut &[u8]) -> Result<(u32, u32, u8, u64, u64), MediaError> {
+    if buf.len() < 4 {
+        return Err(MediaError::Truncated {
+            available: buf.len(),
+            needed: 4,
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[..4]);
+    if magic != MAGIC {
+        return Err(MediaError::BadMagic { found: magic });
+    }
+    buf.advance(4);
+
+    if buf.remaining() < 10 {
+        return Err(MediaError::Truncated {
+            available: buf.remaining(),
+            needed: 10,
+        });
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(MediaError::UnsupportedVersion(version));
+    }
+    let shift = buf.get_u8();
+    if shift > 7 {
+        return Err(MediaError::UnsupportedVersion(version));
+    }
+    let width = buf.get_u32();
+    let height = buf.get_u32();
+    if width == 0 || height == 0 || width > MAX_DIMENSION || height > MAX_DIMENSION {
+        return Err(MediaError::BadDimensions { width, height });
+    }
+    let seq = get_varint(buf)?;
+    let timestamp_ns = get_varint(buf)?;
+    Ok((width, height, shift, seq, timestamp_ns))
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference oracle
+// ---------------------------------------------------------------------------
+
+/// Byte-at-a-time reference encoder. Kept as the oracle the word-wide
+/// [`encode`] is property-tested against; not used on the hot path.
+pub fn encode_scalar(frame: &Frame, quality: Quality) -> Bytes {
     let width = frame.width() as usize;
     let height = frame.height() as usize;
     let shift = quality.shift;
@@ -128,13 +380,7 @@ pub fn encode(frame: &Frame, quality: Quality) -> Bytes {
 
     // Header.
     let mut out = BytesMut::with_capacity(64 + pixels.len() / 16);
-    out.put_slice(&MAGIC);
-    out.put_u8(VERSION);
-    out.put_u8(shift);
-    out.put_u32(frame.width());
-    out.put_u32(frame.height());
-    put_varint(&mut out, frame.seq());
-    put_varint(&mut out, frame.timestamp_ns());
+    put_header(&mut out, frame, shift);
 
     // Quantise + row delta into a scratch buffer, then RLE.
     let mut delta = vec![0u8; pixels.len()];
@@ -172,49 +418,14 @@ fn delta_src(_delta: &[u8], pixels: &[u8], idx: usize, shift: u8) -> u8 {
     pixels[idx] >> shift
 }
 
-/// Decodes an encoded frame.
+/// Byte-at-a-time reference decoder (oracle for [`decode`]).
 ///
 /// # Errors
 ///
-/// Returns [`MediaError`] if the buffer is truncated, has bad magic, an
-/// unsupported version, implausible dimensions, or an inconsistent pixel
-/// count.
-pub fn decode(encoded: &[u8]) -> Result<Frame, MediaError> {
+/// Same contract as [`decode`].
+pub fn decode_scalar(encoded: &[u8]) -> Result<Frame, MediaError> {
     let mut buf = encoded;
-    if buf.len() < 4 {
-        return Err(MediaError::Truncated {
-            available: buf.len(),
-            needed: 4,
-        });
-    }
-    let mut magic = [0u8; 4];
-    magic.copy_from_slice(&buf[..4]);
-    if magic != MAGIC {
-        return Err(MediaError::BadMagic { found: magic });
-    }
-    buf.advance(4);
-
-    if buf.remaining() < 10 {
-        return Err(MediaError::Truncated {
-            available: buf.remaining(),
-            needed: 10,
-        });
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(MediaError::UnsupportedVersion(version));
-    }
-    let shift = buf.get_u8();
-    if shift > 7 {
-        return Err(MediaError::UnsupportedVersion(version));
-    }
-    let width = buf.get_u32();
-    let height = buf.get_u32();
-    if width == 0 || height == 0 || width > MAX_DIMENSION || height > MAX_DIMENSION {
-        return Err(MediaError::BadDimensions { width, height });
-    }
-    let seq = get_varint(&mut buf)?;
-    let timestamp_ns = get_varint(&mut buf)?;
+    let (width, height, shift, seq, timestamp_ns) = decode_header(&mut buf)?;
 
     let total = width as usize * height as usize;
     let mut delta = Vec::with_capacity(total);
@@ -311,6 +522,60 @@ mod tests {
     }
 
     #[test]
+    fn word_encode_matches_scalar_oracle() {
+        let frame = test_frame();
+        for shift in 0..=7u8 {
+            let quality = Quality::new(shift);
+            assert_eq!(
+                encode(&frame, quality),
+                encode_scalar(&frame, quality),
+                "shift {shift}: word-wide encode diverged from scalar oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn word_decode_matches_scalar_oracle() {
+        let frame = test_frame();
+        for shift in 0..=7u8 {
+            let encoded = encode_scalar(&frame, Quality::new(shift));
+            let word = decode(&encoded).unwrap();
+            let scalar = decode_scalar(&encoded).unwrap();
+            assert_eq!(word.pixels(), scalar.pixels(), "shift {shift}");
+            assert_eq!(word.seq(), scalar.seq());
+            assert_eq!(word.timestamp_ns(), scalar.timestamp_ns());
+        }
+    }
+
+    #[test]
+    fn word_kernels_handle_non_word_widths() {
+        // Widths not divisible by 8 exercise every remainder path.
+        for (w, h) in [(1u32, 1u32), (3, 5), (7, 7), (9, 2), (13, 11), (61, 33)] {
+            let mut buf = FrameBuf::new(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    buf.put(i64::from(x), i64::from(y), ((x * 31 + y * 17) % 251) as u8);
+                }
+            }
+            let frame = buf.freeze(9, 99);
+            for shift in [0u8, 1, 2, 5, 7] {
+                let quality = Quality::new(shift);
+                assert_eq!(
+                    encode(&frame, quality),
+                    encode_scalar(&frame, quality),
+                    "{w}x{h} shift {shift}"
+                );
+                let encoded = encode(&frame, quality);
+                assert_eq!(
+                    decode(&encoded).unwrap().pixels(),
+                    decode_scalar(&encoded).unwrap().pixels(),
+                    "{w}x{h} shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn default_quality_preserves_joint_bands() {
         use crate::pose::Joint;
         use crate::scene::{joint_for_intensity, joint_intensity};
@@ -353,6 +618,7 @@ mod tests {
         // Truncating at any point must error, never panic.
         for len in 0..encoded.len().min(64) {
             assert!(decode(&encoded[..len]).is_err(), "len {len} decoded");
+            assert!(decode_scalar(&encoded[..len]).is_err(), "len {len} scalar");
         }
         assert!(decode(&encoded[..encoded.len() - 1]).is_err());
     }

@@ -1,5 +1,7 @@
+use crate::codec::{self, Quality};
 use crate::error::MediaError;
 use crate::frame::Frame;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -44,14 +46,28 @@ pub struct FrameStoreStats {
     pub evicted: u64,
     /// Lookups that missed (unknown/expired id).
     pub misses: u64,
+    /// [`FrameStore::encoded`] calls served from the transcoding cache.
+    pub encode_hits: u64,
+    /// [`FrameStore::encoded`] calls that had to run the codec.
+    pub encode_misses: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     frames: HashMap<u64, Arc<Frame>>,
     order: VecDeque<u64>,
+    /// Transcoding cache: `(frame id, quality shift)` → encoded bytes.
+    /// Entries live exactly as long as their frame; [`Bytes`] clones are
+    /// refcount bumps, so N fan-out destinations share one encoding.
+    encoded: HashMap<(u64, u8), Bytes>,
     next_id: u64,
     stats: FrameStoreStats,
+}
+
+impl Inner {
+    fn purge_encoded(&mut self, frame_id: u64) {
+        self.encoded.retain(|&(fid, _), _| fid != frame_id);
+    }
 }
 
 /// A per-device registry of in-flight frames, shared by all modules and
@@ -99,6 +115,7 @@ impl FrameStore {
             if let Some(old) = inner.order.pop_front() {
                 if inner.frames.remove(&old).is_some() {
                     inner.stats.evicted += 1;
+                    inner.purge_encoded(old);
                 }
             } else {
                 break;
@@ -136,7 +153,51 @@ impl FrameStore {
         if inner.frames.remove(&id.0).is_some() {
             inner.stats.released += 1;
             inner.order.retain(|&o| o != id.0);
+            inner.purge_encoded(id.0);
         }
+    }
+
+    /// Returns the frame encoded at `quality`, encoding at most once per
+    /// `(frame, quality)` pair.
+    ///
+    /// The first call runs the codec and caches the result; subsequent calls
+    /// (a frame fanned out to N cross-device destinations, or retried sends)
+    /// are O(1) refcount bumps of the same buffer. The cache entry is dropped
+    /// with the frame on release or eviction. Hits and misses are counted in
+    /// [`FrameStoreStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MediaError::UnknownFrame`] if the id was released, evicted
+    /// or never inserted.
+    pub fn encoded(&self, id: FrameId, quality: Quality) -> Result<Bytes, MediaError> {
+        let key = (id.0, quality.shift());
+        let frame = {
+            let mut inner = self.inner.lock();
+            if let Some(bytes) = inner.encoded.get(&key).cloned() {
+                inner.stats.encode_hits += 1;
+                return Ok(bytes);
+            }
+            match inner.frames.get(&id.0).map(Arc::clone) {
+                Some(frame) => {
+                    inner.stats.encode_misses += 1;
+                    frame
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    return Err(MediaError::UnknownFrame(id.0));
+                }
+            }
+        };
+        // Encode outside the lock: the codec is the expensive part and must
+        // not serialise unrelated store traffic. Two racing callers may both
+        // encode (byte-identical output), but only one entry is kept.
+        let bytes = codec::encode(&frame, quality);
+        let mut inner = self.inner.lock();
+        if inner.frames.contains_key(&id.0) {
+            inner.encoded.entry(key).or_insert_with(|| bytes.clone());
+        }
+        Ok(bytes)
     }
 
     /// Number of frames currently resident.
@@ -275,6 +336,64 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 400, "ids must be globally unique");
         assert_eq!(store.len(), 400);
+    }
+
+    #[test]
+    fn encoded_caches_per_frame_and_quality() {
+        let store = FrameStore::new();
+        let id = store.insert(frame(7));
+        let q = Quality::default();
+
+        let first = store.encoded(id, q).unwrap();
+        let second = store.encoded(id, q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, codec::encode(&store.get(id).unwrap(), q));
+        let stats = store.stats();
+        assert_eq!(stats.encode_misses, 1, "same quality must encode once");
+        assert_eq!(stats.encode_hits, 1);
+
+        // A different quality is a distinct cache entry.
+        let lossless = store.encoded(id, Quality::LOSSLESS).unwrap();
+        assert_ne!(first, lossless);
+        assert_eq!(store.stats().encode_misses, 2);
+    }
+
+    #[test]
+    fn encoded_fan_out_encodes_once() {
+        let store = FrameStore::new();
+        let id = store.insert(frame(3));
+        let q = Quality::default();
+        for _ in 0..8 {
+            let _ = store.encoded(id, q).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.encode_misses, 1);
+        assert_eq!(stats.encode_hits, 7);
+    }
+
+    #[test]
+    fn encoded_cache_dies_with_frame() {
+        let store = FrameStore::with_capacity(1);
+        let a = store.insert(frame(0));
+        let _ = store.encoded(a, Quality::default()).unwrap();
+        store.release(a);
+        assert!(store.encoded(a, Quality::default()).is_err());
+
+        let b = store.insert(frame(1));
+        let _ = store.encoded(b, Quality::default()).unwrap();
+        let _ = store.insert(frame(2)); // evicts b, and b's cache entry
+        assert!(store.encoded(b, Quality::default()).is_err());
+    }
+
+    #[test]
+    fn encoded_unknown_frame_counts_miss() {
+        let store = FrameStore::new();
+        let err = store
+            .encoded(FrameId::from_u64(404), Quality::default())
+            .unwrap_err();
+        assert!(matches!(err, MediaError::UnknownFrame(404)));
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().encode_misses, 0);
     }
 
     #[test]

@@ -9,6 +9,15 @@ fn arb_kind() -> impl Strategy<Value = ExerciseKind> {
     proptest::sample::select(ExerciseKind::ALL.to_vec())
 }
 
+/// Random frames with arbitrary pixels and dimensions that deliberately
+/// straddle the word-kernel boundaries (widths both `% 8 == 0` and not).
+fn arb_frame() -> impl Strategy<Value = videopipe_media::Frame> {
+    (1u32..80, 1u32..48).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), (w * h) as usize)
+            .prop_map(move |pixels| videopipe_media::Frame::from_pixels(w, h, pixels, 3, 7))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -69,6 +78,48 @@ proptest! {
         let translated_then_normalised = pose.translated(dx, dy).hip_normalized();
         prop_assert!(normalised.mean_joint_error(&translated_then_normalised) < 1e-4);
         prop_assert!(normalised.hip_normalized().mean_joint_error(&normalised) < 1e-6);
+    }
+
+    /// The word-wide encoder emits byte-identical output to the scalar
+    /// reference oracle for every quality level, on arbitrary pixels and
+    /// dimensions (including widths that are not a multiple of 8).
+    #[test]
+    fn word_encoder_matches_scalar_oracle(frame in arb_frame(), shift in 0u8..=7) {
+        let quality = codec::Quality::new(shift);
+        let word = codec::encode(&frame, quality);
+        let scalar = codec::encode_scalar(&frame, quality);
+        prop_assert_eq!(word, scalar);
+    }
+
+    /// The word-wide decoder reconstructs exactly what the scalar oracle
+    /// does, and `decode(encode(f))` round-trips losslessly at shift 0.
+    #[test]
+    fn word_decoder_matches_scalar_oracle(frame in arb_frame(), shift in 0u8..=7) {
+        let quality = codec::Quality::new(shift);
+        let encoded = codec::encode(&frame, quality);
+        let word = codec::decode(&encoded).unwrap();
+        let scalar = codec::decode_scalar(&encoded).unwrap();
+        prop_assert_eq!(word.pixels(), scalar.pixels());
+        prop_assert_eq!(word.width(), frame.width());
+        prop_assert_eq!(word.height(), frame.height());
+        prop_assert_eq!((word.seq(), word.timestamp_ns()), (frame.seq(), frame.timestamp_ns()));
+        if shift == 0 {
+            prop_assert_eq!(word.pixels(), frame.pixels());
+        }
+    }
+
+    /// Lossy decode never errs by more than the quality's stated bound,
+    /// and re-encoding the reconstruction is a fixed point (idempotent).
+    #[test]
+    fn lossy_roundtrip_is_bounded_and_idempotent(frame in arb_frame(), shift in 0u8..=7) {
+        let quality = codec::Quality::new(shift);
+        let decoded = codec::decode(&codec::encode(&frame, quality)).unwrap();
+        let bound = quality.max_error();
+        for (a, b) in frame.pixels().iter().zip(decoded.pixels()) {
+            prop_assert!(a.abs_diff(*b) <= bound, "error {} > bound {bound}", a.abs_diff(*b));
+        }
+        let twice = codec::decode(&codec::encode(&decoded, quality)).unwrap();
+        prop_assert_eq!(twice.pixels(), decoded.pixels());
     }
 
     /// Source capture is deterministic per (seed, time) regardless of call

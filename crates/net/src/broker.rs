@@ -46,8 +46,10 @@ impl Broker {
                     // destinations are dropped (as a real broker would after
                     // retention).
                     if let Ok(sender) = hub.connect(&msg.channel) {
-                        let _ = sender.send(msg);
+                        // Count before forwarding: a receiver woken by the
+                        // send must already observe the updated counter.
                         count.fetch_add(1, Ordering::Relaxed);
+                        let _ = sender.send(msg);
                     }
                 }
             })

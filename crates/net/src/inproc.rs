@@ -12,8 +12,11 @@ use std::time::Duration;
 ///
 /// Co-located modules and services communicate through the hub; the runtime
 /// creates one hub per device. Channels are multiple-producer,
-/// single-consumer: one [`bind`](InprocHub::bind) per name, any number of
-/// [`connect`](InprocHub::connect)s.
+/// multiple-consumer: one [`bind`](InprocHub::bind) per name, any number of
+/// [`connect`](InprocHub::connect)s, and the bound [`InprocReceiver`] can be
+/// cloned into additional competing consumers (each message is delivered to
+/// exactly one of them) — this is how service executor pools share one
+/// request queue without a lock.
 #[derive(Clone, Default)]
 pub struct InprocHub {
     inner: Arc<Mutex<HubInner>>,
@@ -176,6 +179,11 @@ impl MsgSender for InprocSender {
 }
 
 /// Receiving end of an in-process channel.
+///
+/// Cloning produces another *competing* consumer on the same queue: every
+/// message goes to exactly one clone (MPMC work sharing), not to all of
+/// them. Use [`InprocHub::subscribe`] for fan-out semantics instead.
+#[derive(Clone)]
 pub struct InprocReceiver {
     name: String,
     rx: Receiver<WireMessage>,
@@ -343,6 +351,38 @@ mod tests {
         let _rx = hub.bind("a").unwrap();
         assert!(hub2.is_bound("a"));
         assert_eq!(hub2.len(), 1);
+    }
+
+    #[test]
+    fn cloned_receivers_compete_without_duplication() {
+        // The executor-pool contract: N cloned receivers drain one queue,
+        // every message is consumed exactly once.
+        let hub = InprocHub::new();
+        let rx = hub.bind("pool").unwrap();
+        let tx = hub.connect("pool").unwrap();
+        const MSGS: u64 = 1000;
+        const WORKERS: usize = 4;
+        let mut handles = Vec::new();
+        for _ in 0..WORKERS {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut seqs = Vec::new();
+                while let Ok(m) = rx.recv_timeout(Duration::from_millis(200)) {
+                    seqs.push(m.seq);
+                }
+                seqs
+            }));
+        }
+        for i in 0..MSGS {
+            tx.send(msg("pool", i)).unwrap();
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..MSGS).collect();
+        assert_eq!(all, expected, "lost or duplicated messages");
     }
 
     #[test]

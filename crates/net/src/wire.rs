@@ -135,13 +135,25 @@ impl WireMessage {
     /// Returns [`NetError::BadFrame`] when a channel name exceeds
     /// [`MAX_CHANNEL_LEN`].
     pub fn encode(&self) -> Result<Bytes, NetError> {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    /// Appends the encoded message body (no length prefix) to `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFrame`] when a channel name exceeds
+    /// [`MAX_CHANNEL_LEN`]; `buf` is untouched on error.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Result<(), NetError> {
         if self.channel.len() > MAX_CHANNEL_LEN {
             return Err(NetError::BadFrame("channel name too long"));
         }
         if self.reply_to.len() > MAX_CHANNEL_LEN {
             return Err(NetError::BadFrame("reply_to name too long"));
         }
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.reserve(self.encoded_len());
         buf.put_u8(self.kind as u8);
         buf.put_u8(self.channel.len() as u8);
         buf.put_slice(self.channel.as_bytes());
@@ -152,7 +164,34 @@ impl WireMessage {
         buf.put_u64(self.timestamp_ns);
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
-        Ok(buf.freeze())
+        Ok(())
+    }
+
+    /// Appends the *framed* encoding — u32 length prefix plus body — to
+    /// `buf`, so several messages coalesce into one contiguous buffer and a
+    /// single stream write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadFrame`] for oversized channel names and
+    /// [`NetError::FrameTooLarge`] when the body exceeds [`MAX_FRAME_LEN`];
+    /// `buf` is untouched on error.
+    pub fn encode_framed_into(&self, buf: &mut BytesMut) -> Result<(), NetError> {
+        let body_len = self.encoded_len();
+        if body_len > MAX_FRAME_LEN {
+            return Err(NetError::FrameTooLarge { len: body_len });
+        }
+        buf.reserve(4 + body_len);
+        buf.put_u32(body_len as u32);
+        match self.encode_into(buf) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Roll the prefix back so a failed append leaves no torn
+                // framing in a coalescing buffer.
+                buf.truncate(buf.len() - 4);
+                Err(e)
+            }
+        }
     }
 
     /// Decodes a frame previously produced by [`WireMessage::encode`].
@@ -211,18 +250,17 @@ impl WireMessage {
     }
 }
 
-/// Writes one length-prefixed frame to a stream.
+/// Writes one length-prefixed frame to a stream as a single contiguous
+/// write (prefix and body share one buffer — one syscall on an unbuffered
+/// socket, not two).
 ///
 /// # Errors
 ///
 /// Propagates encode and I/O errors.
 pub fn write_frame<W: Write>(writer: &mut W, msg: &WireMessage) -> Result<(), NetError> {
-    let body = msg.encode()?;
-    if body.len() > MAX_FRAME_LEN {
-        return Err(NetError::FrameTooLarge { len: body.len() });
-    }
-    writer.write_all(&(body.len() as u32).to_be_bytes())?;
-    writer.write_all(&body)?;
+    let mut framed = BytesMut::with_capacity(4 + msg.encoded_len());
+    msg.encode_framed_into(&mut framed)?;
+    writer.write_all(&framed)?;
     writer.flush()?;
     Ok(())
 }
@@ -366,6 +404,48 @@ mod tests {
             read_frame(&mut cursor).unwrap_err(),
             NetError::Disconnected
         ));
+    }
+
+    #[test]
+    fn encode_framed_matches_prefix_plus_body() {
+        let msg = sample();
+        let mut framed = BytesMut::new();
+        msg.encode_framed_into(&mut framed).unwrap();
+        let body = msg.encode().unwrap();
+        assert_eq!(&framed[..4], (body.len() as u32).to_be_bytes());
+        assert_eq!(&framed[4..], &body[..]);
+    }
+
+    #[test]
+    fn coalesced_frames_decode_in_order() {
+        let a = sample();
+        let b = WireMessage::signal("src", 5);
+        let c = WireMessage::data("m", 7, 8, Bytes::from_static(b"xyz"));
+        let mut batch = BytesMut::new();
+        for msg in [&a, &b, &c] {
+            msg.encode_framed_into(&mut batch).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(batch.freeze().to_vec());
+        assert_eq!(read_frame(&mut cursor).unwrap(), a);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b);
+        assert_eq!(read_frame(&mut cursor).unwrap(), c);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            NetError::Disconnected
+        ));
+    }
+
+    #[test]
+    fn encode_framed_failure_leaves_buffer_untouched() {
+        let good = WireMessage::signal("src", 1);
+        let bad = WireMessage::data("x".repeat(300), 0, 0, Bytes::new());
+        let mut batch = BytesMut::new();
+        good.encode_framed_into(&mut batch).unwrap();
+        let len_before = batch.len();
+        assert!(bad.encode_framed_into(&mut batch).is_err());
+        assert_eq!(batch.len(), len_before, "torn frame left in batch buffer");
+        let mut cursor = std::io::Cursor::new(batch.freeze().to_vec());
+        assert_eq!(read_frame(&mut cursor).unwrap(), good);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Hot-path performance snapshot: runs the bench_snapshot binary (release)
+# and emits BENCH_PR2.json at the workspace root.
+#
+# Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
+#   --quick    shrink iteration counts (CI smoke; numbers are noisier)
+#   --out PATH write the JSON somewhere else (default BENCH_PR2.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> building bench_snapshot (release)"
+cargo build --release -q -p videopipe-bench --bin bench_snapshot
+
+echo "==> running hot-path snapshot"
+cargo run --release -q -p videopipe-bench --bin bench_snapshot -- "$@"

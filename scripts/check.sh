@@ -14,4 +14,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> bench smoke (hot-path snapshot, quick mode)"
+cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
+    --quick --out target/bench_smoke.json
+rm -f target/bench_smoke.json
+
 echo "All checks passed."

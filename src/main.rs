@@ -366,6 +366,42 @@ fn cmd_placement() -> Result<(), String> {
     Ok(())
 }
 
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("apps") => {
+            println!("built-in applications:");
+            println!("  fitness   workout guidance (paper §4.1; supports --arch baseline)");
+            println!("  gesture   gesture-controlled IoT (paper §4.2; --gesture wave|clap|idle)");
+            println!("  fall      fall detection (paper §4.3)");
+            println!("  retail    cashierless checkout (paper §1 motivation)");
+            Ok(())
+        }
+        Some("run") => match args.get(1) {
+            Some(app) => parse_options(&args[2..]).and_then(|opts| cmd_run(app, &opts)),
+            None => Err("run needs an app name".into()),
+        },
+        Some("validate") => match args.get(1) {
+            Some(path) => cmd_validate(path),
+            None => Err("validate needs a config file".into()),
+        },
+        Some("placement") => cmd_placement(),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,41 +468,5 @@ mod tests {
     #[test]
     fn unknown_app_errors() {
         assert!(cmd_run("nonexistent", &Options::default()).is_err());
-    }
-}
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("apps") => {
-            println!("built-in applications:");
-            println!("  fitness   workout guidance (paper §4.1; supports --arch baseline)");
-            println!("  gesture   gesture-controlled IoT (paper §4.2; --gesture wave|clap|idle)");
-            println!("  fall      fall detection (paper §4.3)");
-            println!("  retail    cashierless checkout (paper §1 motivation)");
-            Ok(())
-        }
-        Some("run") => match args.get(1) {
-            Some(app) => parse_options(&args[2..]).and_then(|opts| cmd_run(app, &opts)),
-            None => Err("run needs an app name".into()),
-        },
-        Some("validate") => match args.get(1) {
-            Some(path) => cmd_validate(path),
-            None => Err("validate needs a config file".into()),
-        },
-        Some("placement") => cmd_placement(),
-        Some("--help" | "-h" | "help") | None => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        Some(other) => Err(format!("unknown command {other:?}")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("\n{USAGE}");
-            ExitCode::FAILURE
-        }
     }
 }

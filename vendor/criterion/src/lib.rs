@@ -1,0 +1,312 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the macro + builder surface the workspace's benches use and
+//! measures with plain wall-clock timing: warm-up, then timed batches until
+//! the measurement window elapses, reporting mean ns/iter and optional
+//! throughput. No statistics engine, no HTML reports.
+//!
+//! Recognised CLI flags: `--quick` (short measurement window), `--test`
+//! (run every benchmark exactly once, as `cargo test --benches` does),
+//! `--bench` (ignored; passed by `cargo bench`), and a positional substring
+//! filter on benchmark names. Unknown flags are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` inputs are grouped. The subset runs one input per
+/// iteration regardless, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs (cheap setup).
+    SmallInput,
+    /// Large inputs (expensive setup).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    test_mode: bool,
+    /// Filled by the timing loop: (total_ns, iterations).
+    result: Option<(u128, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        self.iter_batched(|| (), |()| f(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.result = Some((1, 1));
+            return;
+        }
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        // Measure.
+        let mut total_ns: u128 = 0;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total_ns += t0.elapsed().as_nanos();
+            iters += 1;
+        }
+        if iters == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total_ns = t0.elapsed().as_nanos();
+            iters = 1;
+        }
+        self.result = Some((total_ns, iters));
+    }
+}
+
+/// The benchmark manager configured by `criterion_group!`.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measure: Duration::from_secs(2),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the subset sizes by time, not count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Applies CLI arguments (`--quick`, `--test`, name filter).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => {
+                    self.warm_up = Duration::from_millis(50);
+                    self.measure = Duration::from_millis(200);
+                }
+                "--test" => self.test_mode = true,
+                "--bench" | "--verbose" | "-n" | "--noplot" => {}
+                a if a.starts_with('-') => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            test_mode: self.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        let (total_ns, iters) = b.result.unwrap_or((0, 0));
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        if iters == 0 {
+            println!("{name}: no iterations");
+            return;
+        }
+        let ns_per_iter = total_ns as f64 / iters as f64;
+        let mut line = format!(
+            "{name:<45} time: {} /iter ({iters} iters)",
+            fmt_ns(ns_per_iter)
+        );
+        if let Some(tp) = throughput {
+            match tp {
+                Throughput::Bytes(bytes) => {
+                    let mbs = bytes as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+                    line.push_str(&format!("  thrpt: {mbs:.1} MiB/s"));
+                }
+                Throughput::Elements(n) => {
+                    let eps = n as f64 / (ns_per_iter / 1e9);
+                    line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let tp = self.throughput;
+        self.criterion.run_one(&full, tp, f);
+        self
+    }
+
+    /// Ends the group (no-op in the subset).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            test_mode: false,
+            result: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        let (total, iters) = b.result.unwrap();
+        assert!(iters >= 1);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("solo", |b| {
+            b.iter_batched(|| 21u64, |x| black_box(x * 2), BatchSize::SmallInput)
+        });
+    }
+}

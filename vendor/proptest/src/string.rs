@@ -1,0 +1,319 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the constructs the workspace's property tests use:
+//! alternation `a|b`, groups `(...)`, character classes `[a-z0-9_*.]`
+//! (ranges and literals, no negation), bounded repetition `{n}` / `{m,n}`,
+//! the common quantifiers `*` `+` `?` (capped at 8 repetitions), escaped
+//! literals `\x`, and the Unicode-category escape `\PC` / `\pC`, which is
+//! generated as printable ASCII.
+
+use crate::TestRng;
+
+/// A pattern that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPattern(pub String);
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Alternation of sequences.
+    Alt(Vec<Vec<(Node, Quant)>>),
+    /// A literal character.
+    Lit(char),
+    /// Inclusive character ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC`-style: any printable ASCII character.
+    Printable,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+const ONE: Quant = Quant { min: 1, max: 1 };
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn err(&self, why: &str) -> BadPattern {
+        BadPattern(format!("{why} in pattern {:?}", self.pattern))
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, BadPattern> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_seq()?);
+        }
+        Ok(Node::Alt(branches))
+    }
+
+    fn parse_seq(&mut self) -> Result<Vec<(Node, Quant)>, BadPattern> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let quant = self.parse_quant()?;
+            seq.push((atom, quant));
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, BadPattern> {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                match self.chars.next() {
+                    Some(')') => Ok(inner),
+                    _ => Err(self.err("unclosed group")),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.chars.next() {
+                Some('P') | Some('p') => {
+                    // Single-letter Unicode category (\PC etc.); generate
+                    // printable ASCII, which satisfies every category the
+                    // tests use ("not a control character").
+                    self.chars.next();
+                    Ok(Node::Printable)
+                }
+                Some('d') => Ok(Node::Class(vec![('0', '9')])),
+                Some('w') => Ok(Node::Class(vec![
+                    ('a', 'z'),
+                    ('A', 'Z'),
+                    ('0', '9'),
+                    ('_', '_'),
+                ])),
+                Some('s') => Ok(Node::Lit(' ')),
+                Some(c) => Ok(Node::Lit(c)),
+                None => Err(self.err("dangling escape")),
+            },
+            Some('.') => Ok(Node::Printable),
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(self.err("unexpected end")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, BadPattern> {
+        let mut ranges = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                Some(']') => {
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    if ranges.is_empty() {
+                        return Err(self.err("empty character class"));
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                Some('-') => {
+                    // Range if we have a pending start and a following end;
+                    // otherwise a literal '-'.
+                    match (prev.take(), self.chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            self.chars.next();
+                            if lo > hi {
+                                return Err(self.err("inverted class range"));
+                            }
+                            ranges.push((lo, hi));
+                        }
+                        (p, _) => {
+                            if let Some(p) = p {
+                                ranges.push((p, p));
+                            }
+                            prev = Some('-');
+                        }
+                    }
+                }
+                Some('\\') => {
+                    if let Some(p) = prev.replace(match self.chars.next() {
+                        Some(c) => c,
+                        None => return Err(self.err("dangling escape in class")),
+                    }) {
+                        ranges.push((p, p));
+                    }
+                }
+                Some(c) => {
+                    if let Some(p) = prev.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+                None => return Err(self.err("unclosed character class")),
+            }
+        }
+    }
+
+    fn parse_quant(&mut self) -> Result<Quant, BadPattern> {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let min = self.parse_number()?;
+                let max = match self.chars.peek() {
+                    Some(',') => {
+                        self.chars.next();
+                        self.parse_number()?
+                    }
+                    _ => min,
+                };
+                match self.chars.next() {
+                    Some('}') if min <= max => Ok(Quant { min, max }),
+                    Some('}') => Err(self.err("inverted repetition bounds")),
+                    _ => Err(self.err("unclosed repetition")),
+                }
+            }
+            Some('*') => {
+                self.chars.next();
+                Ok(Quant { min: 0, max: 8 })
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok(Quant { min: 1, max: 8 })
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok(Quant { min: 0, max: 1 })
+            }
+            _ => Ok(ONE),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<usize, BadPattern> {
+        let mut n: Option<usize> = None;
+        while let Some(c) = self.chars.peek().copied() {
+            if let Some(d) = c.to_digit(10) {
+                self.chars.next();
+                n = Some(n.unwrap_or(0) * 10 + d as usize);
+            } else {
+                break;
+            }
+        }
+        n.ok_or_else(|| self.err("expected number"))
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let branch = &branches[rng.below(branches.len())];
+            for (atom, quant) in branch {
+                let reps = quant.min + rng.below(quant.max - quant.min + 1);
+                for _ in 0..reps {
+                    generate_node(atom, rng, out);
+                }
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).unwrap_or(*lo));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Printable => {
+            out.push((0x20u8 + rng.below(0x5F) as u8) as char);
+        }
+    }
+}
+
+/// Generates one string matching the pattern subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> Result<String, BadPattern> {
+    let mut parser = Parser::new(pattern);
+    let node = parser.parse_alt()?;
+    if parser.chars.next().is_some() {
+        return Err(parser.err("trailing characters"));
+    }
+    let mut out = String::new();
+    generate_node(&node, rng, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::TestRng;
+
+    fn gen_n(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::from_seed(0xBEEF);
+        (0..n)
+            .map(|_| generate(pattern, &mut rng).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn classes_and_reps() {
+        for s in gen_n("[a-z_]{1,24}", 200) {
+            assert!(!s.is_empty() && s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{s}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_class() {
+        for s in gen_n("[ -~]{0,64}", 200) {
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        for s in gen_n("\\PC{0,256}", 50) {
+            assert!(s.len() <= 256);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_with_groups() {
+        for s in gen_n(
+            "(bind|connect)#(tcp://[a-z*][a-z0-9.*]{0,10}:[0-9]{1,5}|inproc://[a-z]{1,10})",
+            300,
+        ) {
+            assert!(s.starts_with("bind#") || s.starts_with("connect#"), "{s}");
+            let rest = s.split_once('#').unwrap().1;
+            assert!(
+                rest.starts_with("tcp://") || rest.starts_with("inproc://"),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_dash_in_class() {
+        for s in gen_n("[a-]{1,4}", 100) {
+            assert!(s.chars().all(|c| c == 'a' || c == '-'), "{s}");
+        }
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        let mut rng = TestRng::from_seed(1);
+        assert!(generate("(unclosed", &mut rng).is_err());
+        assert!(generate("[unclosed", &mut rng).is_err());
+        assert!(generate("x{3,1}", &mut rng).is_err());
+    }
+}
