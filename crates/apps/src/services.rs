@@ -6,13 +6,14 @@
 //! frame references) and keep no mutable state, so they can be shared
 //! across pipelines and scaled horizontally (paper §2.2).
 
+use std::sync::Arc;
 use std::time::Duration;
 use videopipe_core::message::Payload;
 use videopipe_core::service::{
     wrong_payload, Service, ServiceCost, ServiceRequest, ServiceResponse,
 };
 use videopipe_core::PipelineError;
-use videopipe_media::{FrameStore, Pose};
+use videopipe_media::{Frame, FrameStore, Pose};
 use videopipe_ml::activity::ActivityModel;
 use videopipe_ml::classify::ImageClassifier;
 use videopipe_ml::faces::FaceDetector;
@@ -70,9 +71,47 @@ impl Service for PoseDetectorService {
         })
     }
 
+    fn handle_batch(
+        &self,
+        requests: &[ServiceRequest],
+        store: &FrameStore,
+    ) -> Vec<Result<ServiceResponse, PipelineError>> {
+        // Resolve every frame first so per-request failures stay
+        // per-request, then run the fused batch kernel over the
+        // resolvable frames in one pass.
+        let resolved: Vec<Result<Arc<Frame>, PipelineError>> = requests
+            .iter()
+            .map(|request| match request.payload {
+                Payload::FrameRef(id) => store.get(id).map_err(PipelineError::from),
+                ref other => Err(wrong_payload(Self::NAME, "frame_ref", other)),
+            })
+            .collect();
+        let frames: Vec<&Frame> = resolved
+            .iter()
+            .filter_map(|slot| slot.as_deref().ok())
+            .collect();
+        let mut detections = self.detector.detect_batch(&frames).into_iter();
+        resolved
+            .into_iter()
+            .map(|slot| {
+                slot.map(
+                    |_| match detections.next().expect("one detection per resolved frame") {
+                        Some(detected) => ServiceResponse::new(Payload::Pose {
+                            pose: detected.pose,
+                            score: detected.score,
+                        }),
+                        None => ServiceResponse::new(Payload::Empty),
+                    },
+                )
+            })
+            .collect()
+    }
+
     fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
         // Reference-device cost; the calibrated profile matches this.
-        ServiceCost::flat(Duration::from_millis(106))
+        // Batched followers amortise the model setup + raster passes that
+        // the fused kernel shares across a batch.
+        ServiceCost::flat(Duration::from_millis(106)).with_batched_base(Duration::from_millis(38))
     }
 }
 
@@ -427,8 +466,40 @@ impl Service for ImageClassifierService {
         }))
     }
 
+    fn handle_batch(
+        &self,
+        requests: &[ServiceRequest],
+        store: &FrameStore,
+    ) -> Vec<Result<ServiceResponse, PipelineError>> {
+        let resolved: Vec<Result<Arc<Frame>, PipelineError>> = requests
+            .iter()
+            .map(|request| match request.payload {
+                Payload::FrameRef(id) => store.get(id).map_err(PipelineError::from),
+                ref other => Err(wrong_payload(Self::NAME, "frame_ref", other)),
+            })
+            .collect();
+        let frames: Vec<&Frame> = resolved
+            .iter()
+            .filter_map(|slot| slot.as_deref().ok())
+            .collect();
+        let mut labels = self.classifier.classify_batch(&frames).into_iter();
+        resolved
+            .into_iter()
+            .map(|slot| {
+                slot.map(|_| {
+                    let (label, dist) = labels.next().expect("one label per resolved frame");
+                    ServiceResponse::new(Payload::Label {
+                        label: label.to_string(),
+                        confidence: 1.0 / (1.0 + dist),
+                    })
+                })
+            })
+            .collect()
+    }
+
     fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
-        ServiceCost::flat(Duration::from_millis(25))
+        // Followers share the pooled-feature scratch buffers.
+        ServiceCost::flat(Duration::from_millis(25)).with_batched_base(Duration::from_millis(9))
     }
 }
 
@@ -648,6 +719,94 @@ mod tests {
         match resp.payload {
             Payload::Label { label, .. } => assert_eq!(label, "standing"),
             other => panic!("expected label, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn pose_batch_matches_sequential_and_isolates_errors() {
+        let store = FrameStore::new();
+        let renderer = SceneRenderer::new(320, 240);
+        let mut requests: Vec<ServiceRequest> = (0..4)
+            .map(|i| {
+                let pose = ExerciseKind::Squat.pose_at_phase(i as f32 / 4.0);
+                let id = store.insert(renderer.render(&pose, i, i as u64));
+                ServiceRequest::new("detect", Payload::FrameRef(id))
+            })
+            .collect();
+        // An empty frame (no person), a wrong payload, and a dangling ref.
+        let empty = store.insert(videopipe_media::FrameBuf::new(32, 32).freeze(9, 9));
+        requests.push(ServiceRequest::new("detect", Payload::FrameRef(empty)));
+        requests.push(ServiceRequest::new("detect", Payload::Count(3)));
+        requests.push(ServiceRequest::new(
+            "detect",
+            Payload::FrameRef(videopipe_media::FrameId::from_u64(9999)),
+        ));
+
+        let svc = PoseDetectorService::new();
+        let batched = svc.handle_batch(&requests, &store);
+        assert_eq!(batched.len(), requests.len());
+        for (request, batched) in requests.iter().zip(batched) {
+            match (svc.handle(request, &store), batched) {
+                (Ok(single), Ok(batched)) => assert_eq!(single.payload, batched.payload),
+                (Err(_), Err(_)) => {}
+                (single, batched) => {
+                    panic!("batch/sequential disagree: {single:?} vs {batched:?}")
+                }
+            }
+        }
+        assert!(svc.handle_batch(&[], &store).is_empty());
+    }
+
+    #[test]
+    fn image_classifier_batch_matches_sequential() {
+        let renderer = SceneRenderer::new(160, 120);
+        let standing = renderer.render(&ExerciseKind::Idle.pose_at_phase(0.0), 0, 0);
+        let plank = renderer.render(&ExerciseKind::Pushup.pose_at_phase(0.0), 0, 0);
+        let clf = ImageClassifier::train([(&standing, "standing"), (&plank, "plank")]).unwrap();
+        let svc = ImageClassifierService::new(clf);
+        let store = FrameStore::new();
+        let mut requests: Vec<ServiceRequest> = (0..5)
+            .map(|i| {
+                let kind = if i % 2 == 0 {
+                    ExerciseKind::Idle
+                } else {
+                    ExerciseKind::Pushup
+                };
+                let id = store.insert(renderer.render(&kind.pose_at_phase(0.3), i, i as u64));
+                ServiceRequest::new("classify", Payload::FrameRef(id))
+            })
+            .collect();
+        requests.insert(2, ServiceRequest::new("classify", Payload::Empty));
+
+        let batched = svc.handle_batch(&requests, &store);
+        assert_eq!(batched.len(), requests.len());
+        for (request, batched) in requests.iter().zip(batched) {
+            match (svc.handle(request, &store), batched) {
+                (Ok(single), Ok(batched)) => assert_eq!(single.payload, batched.payload),
+                (Err(_), Err(_)) => {}
+                (single, batched) => {
+                    panic!("batch/sequential disagree: {single:?} vs {batched:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_costs_discount_followers_only() {
+        let req = ServiceRequest::new("x", Payload::Empty);
+        for cost in [
+            PoseDetectorService::new().cost(&req),
+            ImageClassifierService::new(
+                ImageClassifier::train([(
+                    &SceneRenderer::new(32, 32).render(&Pose::default(), 0, 0),
+                    "x",
+                )])
+                .unwrap(),
+            )
+            .cost(&req),
+        ] {
+            assert_eq!(cost.for_batch_item(true, 0), cost.base);
+            assert!(cost.for_batch_item(false, 0) < cost.base);
         }
     }
 

@@ -140,19 +140,33 @@ impl fmt::Display for LatencyHistogram {
     }
 }
 
+/// Number of batch-size histogram buckets in [`DispatchStats`]: bucket `i`
+/// counts batches of exactly `i + 1` requests, and the final bucket absorbs
+/// everything of size ≥ `BATCH_BUCKETS`.
+pub const BATCH_BUCKETS: usize = 8;
+
 /// Per-service-host dispatch counters, keyed by `device/service`.
 ///
 /// Filled by the runtime's executor pools: they prove (or disprove) that
 /// requests spread across executors instead of serialising behind a shared
-/// inbox lock.
+/// inbox lock, and — since micro-batching — how well the drain policy fills
+/// batches under load.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DispatchStats {
     /// Requests executed by this service host.
     pub requests: u64,
     /// Total wall time executors spent handling requests (ns).
     pub busy_ns: u64,
-    /// Deepest request backlog observed at dequeue time.
+    /// Deepest request backlog observed when the leading request of a batch
+    /// was dequeued (i.e. before the drain empties the queue).
     pub max_queue_depth: u64,
+    /// Batches dispatched (equals `requests` when batching is off).
+    pub batches: u64,
+    /// Largest batch dispatched.
+    pub max_batch: u64,
+    /// Batch-size histogram: `batch_sizes[i]` counts batches of `i + 1`
+    /// requests, last bucket = `≥ BATCH_BUCKETS`.
+    pub batch_sizes: [u64; BATCH_BUCKETS],
 }
 
 impl DispatchStats {
@@ -163,6 +177,37 @@ impl DispatchStats {
         } else {
             self.busy_ns as f64 / self.requests as f64 / 1e6
         }
+    }
+
+    /// Mean wall time per *batch* in milliseconds (0 when idle). With
+    /// batching this is the amortised unit of executor work; without it,
+    /// identical to [`DispatchStats::mean_busy_ms`].
+    pub fn mean_batch_busy_ms(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.batches as f64 / 1e6
+        }
+    }
+
+    /// Mean requests per dispatched batch (0 when idle, 1.0 when batching
+    /// never engaged).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    fn record_batch(&mut self, busy_ns: u64, queue_depth: u64, batch_len: u64) {
+        self.requests += batch_len;
+        self.busy_ns += busy_ns;
+        self.max_queue_depth = self.max_queue_depth.max(queue_depth);
+        self.batches += 1;
+        self.max_batch = self.max_batch.max(batch_len);
+        let bucket = (batch_len.max(1) as usize - 1).min(BATCH_BUCKETS - 1);
+        self.batch_sizes[bucket] += 1;
     }
 }
 
@@ -214,11 +259,26 @@ impl PipelineMetrics {
 
     /// Records one executed service request: how long the executor was busy
     /// and how deep the request queue was when the request was dequeued.
+    /// Equivalent to a batch of one.
     pub fn record_dispatch(&mut self, host: &str, busy_ns: u64, queue_depth: u64) {
-        let stats = self.dispatch.entry(host.to_string()).or_default();
-        stats.requests += 1;
-        stats.busy_ns += busy_ns;
-        stats.max_queue_depth = stats.max_queue_depth.max(queue_depth);
+        self.record_dispatch_batch(host, busy_ns, queue_depth, 1);
+    }
+
+    /// Records one executed micro-batch of `batch_len` requests:
+    /// `busy_ns` covers the whole batch (drain → decode → handle → reply)
+    /// and `queue_depth` is the backlog observed *before* the drain, so
+    /// `max_queue_depth` still reflects true pressure.
+    pub fn record_dispatch_batch(
+        &mut self,
+        host: &str,
+        busy_ns: u64,
+        queue_depth: u64,
+        batch_len: u64,
+    ) {
+        self.dispatch
+            .entry(host.to_string())
+            .or_default()
+            .record_batch(busy_ns, queue_depth, batch_len);
     }
 
     /// Records an end-to-end delivery at pipeline time `now_ns` with the
@@ -312,6 +372,11 @@ impl PipelineMetrics {
             mine.requests += stats.requests;
             mine.busy_ns += stats.busy_ns;
             mine.max_queue_depth = mine.max_queue_depth.max(stats.max_queue_depth);
+            mine.batches += stats.batches;
+            mine.max_batch = mine.max_batch.max(stats.max_batch);
+            for (a, b) in mine.batch_sizes.iter_mut().zip(stats.batch_sizes.iter()) {
+                *a += b;
+            }
         }
         self.end_to_end.merge(&other.end_to_end);
         self.frames_delivered += other.frames_delivered;
@@ -484,6 +549,39 @@ mod tests {
         assert_eq!(a.dispatch["dev/svc"].max_queue_depth, 9);
         assert_eq!(a.dispatch["dev/other"].requests, 1);
         assert_eq!(DispatchStats::default().mean_busy_ms(), 0.0);
+        // A plain record_dispatch is a batch of one.
+        assert_eq!(a.dispatch["dev/svc"].batches, 3);
+        assert_eq!(a.dispatch["dev/svc"].max_batch, 1);
+        assert_eq!(a.dispatch["dev/svc"].batch_sizes[0], 3);
+    }
+
+    #[test]
+    fn dispatch_batch_histogram_and_means() {
+        let mut m = PipelineMetrics::new();
+        m.record_dispatch_batch("dev/svc", 8_000_000, 7, 4);
+        m.record_dispatch_batch("dev/svc", 2_000_000, 0, 1);
+        m.record_dispatch_batch("dev/svc", 20_000_000, 30, 12); // clamps to last bucket
+        let s = &m.dispatch["dev/svc"];
+        assert_eq!(s.requests, 17);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.max_batch, 12);
+        assert_eq!(s.max_queue_depth, 30);
+        assert_eq!(s.batch_sizes[0], 1);
+        assert_eq!(s.batch_sizes[3], 1);
+        assert_eq!(s.batch_sizes[BATCH_BUCKETS - 1], 1);
+        assert!((s.mean_batch() - 17.0 / 3.0).abs() < 1e-9);
+        assert!((s.mean_batch_busy_ms() - 10.0).abs() < 1e-9);
+        assert_eq!(DispatchStats::default().mean_batch(), 0.0);
+        assert_eq!(DispatchStats::default().mean_batch_busy_ms(), 0.0);
+
+        // Batch fields survive a merge.
+        let mut other = PipelineMetrics::new();
+        other.record_dispatch_batch("dev/svc", 1_000_000, 2, 4);
+        m.merge(&other);
+        let s = &m.dispatch["dev/svc"];
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.batch_sizes[3], 2);
+        assert_eq!(s.max_batch, 12);
     }
 
     #[test]

@@ -108,6 +108,11 @@ pub struct ServiceCost {
     pub base: Duration,
     /// Additional cost per KiB of request payload.
     pub per_kib: Duration,
+    /// Fixed cost for the second and later requests of a micro-batch:
+    /// setup work (model load, cache warm-up, kernel launch) is paid once by
+    /// the first request and amortised by the rest. `None` means the service
+    /// gains nothing from batching (`base` is charged every time).
+    pub batched_base: Option<Duration>,
 }
 
 impl ServiceCost {
@@ -116,12 +121,53 @@ impl ServiceCost {
         ServiceCost {
             base,
             per_kib: Duration::ZERO,
+            batched_base: None,
         }
+    }
+
+    /// Declares the amortised fixed cost for non-leading requests of a
+    /// batch. Must not exceed `base` (a batch can't be slower per request
+    /// than sequential dispatch under this model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batched_base > base`.
+    pub const fn with_batched_base(mut self, batched_base: Duration) -> Self {
+        assert!(
+            batched_base.as_nanos() <= self.base.as_nanos(),
+            "batched_base must not exceed base"
+        );
+        self.batched_base = Some(batched_base);
+        self
     }
 
     /// Total cost for a request of `payload_bytes`.
     pub fn for_bytes(&self, payload_bytes: usize) -> Duration {
         self.base + self.per_kib * (payload_bytes as u32 / 1024)
+    }
+
+    /// Cost contribution of one request inside a batch: the first request
+    /// pays the full `base`, followers pay `batched_base` (or `base` when
+    /// no discount is declared). The per-KiB term is always charged in full
+    /// — payload bytes still have to be moved and decoded per request.
+    pub fn for_batch_item(&self, first_in_batch: bool, payload_bytes: usize) -> Duration {
+        let fixed = if first_in_batch {
+            self.base
+        } else {
+            self.batched_base.unwrap_or(self.base)
+        };
+        fixed + self.per_kib * (payload_bytes as u32 / 1024)
+    }
+
+    /// Total modeled cost of serving `payload_sizes` as one batch. With a
+    /// single element this equals [`ServiceCost::for_bytes`]; without a
+    /// `batched_base` it equals the sequential sum.
+    pub fn for_batch(&self, payload_sizes: &[usize]) -> Duration {
+        payload_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| self.for_batch_item(i == 0, bytes))
+            .sum()
     }
 }
 
@@ -146,6 +192,24 @@ pub trait Service: Send + Sync {
         request: &ServiceRequest,
         store: &FrameStore,
     ) -> Result<ServiceResponse, PipelineError>;
+
+    /// Handles a micro-batch of requests, returning one result per request
+    /// in order. The default implementation dispatches each request through
+    /// [`Service::handle`] sequentially, so overriding is purely an
+    /// optimisation — results must match the sequential path exactly.
+    ///
+    /// Implementations that can share work across a batch (one fused pixel
+    /// scan, reused scratch buffers, a single model activation) override
+    /// this; the executor calls it whenever its drain policy collected more
+    /// than zero requests, so `requests` is never empty but is often a
+    /// singleton.
+    fn handle_batch(
+        &self,
+        requests: &[ServiceRequest],
+        store: &FrameStore,
+    ) -> Vec<Result<ServiceResponse, PipelineError>> {
+        requests.iter().map(|r| self.handle(r, store)).collect()
+    }
 
     /// The modeled compute cost of `request` on the reference device.
     fn cost(&self, request: &ServiceRequest) -> ServiceCost {
@@ -451,11 +515,78 @@ mod tests {
         let cost = ServiceCost {
             base: Duration::from_millis(10),
             per_kib: Duration::from_millis(1),
+            batched_base: None,
         };
         assert_eq!(cost.for_bytes(0), Duration::from_millis(10));
         assert_eq!(cost.for_bytes(4096), Duration::from_millis(14));
         let flat = ServiceCost::flat(Duration::from_millis(3));
         assert_eq!(flat.for_bytes(1 << 20), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn batch_cost_amortises_the_base() {
+        let cost = ServiceCost {
+            base: Duration::from_millis(10),
+            per_kib: Duration::from_millis(1),
+            batched_base: None,
+        }
+        .with_batched_base(Duration::from_millis(2));
+        // Leader pays full base, followers pay the amortised base; the
+        // per-KiB term is charged in full for everyone.
+        assert_eq!(cost.for_batch_item(true, 1024), Duration::from_millis(11));
+        assert_eq!(cost.for_batch_item(false, 1024), Duration::from_millis(3));
+        assert_eq!(cost.for_batch(&[1024]), cost.for_bytes(1024));
+        assert_eq!(
+            cost.for_batch(&[0, 0, 0, 0]),
+            Duration::from_millis(10 + 3 * 2)
+        );
+        // Without a declared discount, a batch costs the sequential sum.
+        let flat = ServiceCost::flat(Duration::from_millis(4));
+        assert_eq!(flat.for_batch(&[0, 0, 0]), Duration::from_millis(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "batched_base must not exceed base")]
+    fn batch_cost_rejects_discount_above_base() {
+        let _ =
+            ServiceCost::flat(Duration::from_millis(1)).with_batched_base(Duration::from_millis(2));
+    }
+
+    #[test]
+    fn default_handle_batch_matches_sequential_handle() {
+        // EchoService does not override handle_batch, so the default loop
+        // must produce exactly what sequential handle calls produce.
+        let svc = EchoService;
+        let store = FrameStore::new();
+        let requests: Vec<ServiceRequest> = (0..5)
+            .map(|i| ServiceRequest::new("echo", Payload::Count(i)))
+            .collect();
+        let batched = svc.handle_batch(&requests, &store);
+        assert_eq!(batched.len(), requests.len());
+        for (req, result) in requests.iter().zip(batched) {
+            assert_eq!(result.unwrap().payload, req.payload);
+        }
+    }
+
+    #[test]
+    fn chaos_schedule_advances_per_request_in_a_batch() {
+        // The default handle_batch loops handle, so a FailEveryN(3) chaos
+        // service fails exactly the 3rd request of a batch — batching must
+        // not collapse the fault schedule into one event per batch.
+        let chaos = ChaosService::new(Arc::new(EchoService), 3);
+        let store = FrameStore::new();
+        let requests: Vec<ServiceRequest> = (0..6)
+            .map(|i| ServiceRequest::new("echo", Payload::Count(i)))
+            .collect();
+        let results = chaos.handle_batch(&requests, &store);
+        let failures: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failures, vec![2, 5]);
+        assert_eq!(chaos.calls(), 6);
     }
 
     #[test]

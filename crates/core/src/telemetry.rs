@@ -31,6 +31,10 @@ pub struct TelemetrySnapshot {
     pub mean_latency_ms: f64,
     /// Mean per-stage latency (ms), keyed by module name.
     pub stage_means_ms: BTreeMap<String, f64>,
+    /// Mean micro-batch size per service host (`device/service`), present
+    /// only for hosts that dispatched at least one batch. 1.0 means the
+    /// drain policy never coalesced requests (low load or batching off).
+    pub batch_means: BTreeMap<String, f64>,
 }
 
 impl TelemetrySnapshot {
@@ -47,6 +51,12 @@ impl TelemetrySnapshot {
                 .stages
                 .iter()
                 .map(|(k, v)| (k.clone(), v.mean_ms()))
+                .collect(),
+            batch_means: metrics
+                .dispatch
+                .iter()
+                .filter(|(_, s)| s.batches > 0)
+                .map(|(k, s)| (k.clone(), s.mean_batch()))
                 .collect(),
         }
     }
@@ -70,6 +80,11 @@ impl TelemetrySnapshot {
         for (stage, ms) in &self.stage_means_ms {
             out.push_str(&format!(";stage.{stage}={ms:.4}"));
         }
+        // `batch.` keys are new in the batching layer; old decoders skip
+        // them via the unknown-key rule.
+        for (host, mean) in &self.batch_means {
+            out.push_str(&format!(";batch.{host}={mean:.4}"));
+        }
         out
     }
 
@@ -87,6 +102,7 @@ impl TelemetrySnapshot {
             fps: 0.0,
             mean_latency_ms: 0.0,
             stage_means_ms: BTreeMap::new(),
+            batch_means: BTreeMap::new(),
         };
         for field in line.split(';') {
             let (key, value) = field
@@ -100,11 +116,15 @@ impl TelemetrySnapshot {
                 "dropped" => snapshot.frames_dropped = value.parse().map_err(|_| bad())?,
                 "fps" => snapshot.fps = value.parse().map_err(|_| bad())?,
                 "latency_ms" => snapshot.mean_latency_ms = value.parse().map_err(|_| bad())?,
-                stage_key => {
-                    if let Some(stage) = stage_key.strip_prefix("stage.") {
+                other_key => {
+                    if let Some(stage) = other_key.strip_prefix("stage.") {
                         snapshot
                             .stage_means_ms
                             .insert(stage.to_string(), value.parse().map_err(|_| bad())?);
+                    } else if let Some(host) = other_key.strip_prefix("batch.") {
+                        snapshot
+                            .batch_means
+                            .insert(host.to_string(), value.parse().map_err(|_| bad())?);
                     }
                     // Unknown keys are ignored for forward compatibility.
                 }
@@ -228,6 +248,20 @@ mod tests {
         assert!((decoded.fps - snapshot.fps).abs() < 1e-3);
         assert_eq!(decoded.stage_means_ms.len(), 2);
         assert!((decoded.stage_means_ms["pose"] - 50.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn batch_means_roundtrip() {
+        let mut metrics = PipelineMetrics::new();
+        metrics.record_delivery(0, 1_000_000);
+        metrics.record_dispatch_batch("edge/pose_detector", 5_000_000, 6, 4);
+        metrics.record_dispatch_batch("edge/pose_detector", 5_000_000, 0, 2);
+        let snapshot = TelemetrySnapshot::from_metrics("fitness", 1, &metrics);
+        assert!((snapshot.batch_means["edge/pose_detector"] - 3.0).abs() < 1e-9);
+        let decoded = TelemetrySnapshot::decode(&snapshot.encode()).unwrap();
+        assert!((decoded.batch_means["edge/pose_detector"] - 3.0).abs() < 1e-3);
+        // Hosts that never dispatched a batch are absent, not 0.
+        assert!(!snapshot.encode().contains("batch.edge/idle"));
     }
 
     #[test]

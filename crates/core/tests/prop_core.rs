@@ -4,7 +4,11 @@
 use proptest::prelude::*;
 use videopipe_core::config;
 use videopipe_core::deploy::{plan, DeviceSpec, Placement};
+use videopipe_core::message::Payload;
+use videopipe_core::service::{Service, ServiceRequest, ServiceResponse};
 use videopipe_core::spec::{ModuleSpec, PipelineSpec};
+use videopipe_core::PipelineError;
+use videopipe_media::FrameStore;
 
 /// A random DAG built by only allowing edges from lower to higher indices
 /// (guaranteed acyclic).
@@ -90,6 +94,69 @@ proptest! {
             let from_dev = placement.device_for(&e.from).unwrap();
             let to_dev = placement.device_for(&e.to).unwrap();
             prop_assert_eq!(e.cross_device, from_dev != to_dev);
+        }
+    }
+}
+
+/// A deterministic service with data-dependent success: even counts double,
+/// odd counts fail, everything else is a payload error.
+struct ParityDoubler;
+impl Service for ParityDoubler {
+    fn name(&self) -> &str {
+        "parity"
+    }
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        match request.payload {
+            Payload::Count(n) if n % 2 == 0 => Ok(ServiceResponse::new(Payload::Count(n * 2))),
+            Payload::Count(n) => Err(PipelineError::Service {
+                service: "parity".into(),
+                reason: format!("odd {n}"),
+            }),
+            ref other => Err(videopipe_core::service::wrong_payload(
+                "parity", "count", other,
+            )),
+        }
+    }
+}
+
+fn arb_request() -> impl Strategy<Value = ServiceRequest> {
+    prop_oneof![
+        (0u64..1000).prop_map(|n| ServiceRequest::new("op", Payload::Count(n))),
+        Just(ServiceRequest::new("op", Payload::Empty)),
+        ".{0,12}".prop_map(|s| ServiceRequest::new("op", Payload::Text(s))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The default `handle_batch` is observably identical to calling
+    /// `handle` sequentially — same successes, same failures, same order —
+    /// for any mix of passing and failing requests.
+    #[test]
+    fn default_handle_batch_equals_sequential_handle(
+        requests in proptest::collection::vec(arb_request(), 0..24),
+    ) {
+        let svc = ParityDoubler;
+        let store = FrameStore::new();
+        let batched = svc.handle_batch(&requests, &store);
+        prop_assert_eq!(batched.len(), requests.len());
+        for (request, batched) in requests.iter().zip(batched) {
+            match (svc.handle(request, &store), batched) {
+                (Ok(single), Ok(batched)) => prop_assert_eq!(single.payload, batched.payload),
+                (Err(single), Err(batched)) => {
+                    prop_assert_eq!(single.to_string(), batched.to_string())
+                }
+                (single, batched) => {
+                    return Err(TestCaseError::fail(format!(
+                        "batch/sequential disagree: {single:?} vs {batched:?}"
+                    )))
+                }
+            }
         }
     }
 }

@@ -313,6 +313,76 @@ pub fn decode(encoded: &[u8]) -> Result<Frame, MediaError> {
     Ok(Frame::from_pixels(width, height, pixels, seq, timestamp_ns))
 }
 
+/// Decodes a batch of encoded frames, returning one result per input in
+/// order.
+///
+/// The batch counterpart of [`decode`], built for the executor drain path:
+/// every frame run-fills and undoes its row delta inside one pooled
+/// per-thread scratch plane, and the dequantisation LUT is rebuilt only when
+/// the quality shift changes between frames — a batch encoded at one quality
+/// pays for the table once. Each output is byte-identical to what
+/// [`decode`] produces for the same input, and a malformed frame yields a
+/// per-slot error without aborting the rest of the batch.
+pub fn decode_batch<'a, I>(encoded: I) -> Vec<Result<Frame, MediaError>>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let delta = &mut scratch.delta;
+        let mut lut_cache: Option<(u8, [u8; 256])> = None;
+        encoded
+            .into_iter()
+            .map(|bytes| decode_pooled(bytes, delta, &mut lut_cache))
+            .collect()
+    })
+}
+
+/// One frame of [`decode_batch`]: like [`decode`] but staged through the
+/// caller's scratch plane, with the output buffer sized exactly by the LUT
+/// pass at the end.
+fn decode_pooled(
+    encoded: &[u8],
+    delta: &mut Vec<u8>,
+    lut_cache: &mut Option<(u8, [u8; 256])>,
+) -> Result<Frame, MediaError> {
+    let mut buf = encoded;
+    let (width, height, shift, seq, timestamp_ns) = decode_header(&mut buf)?;
+
+    let total = width as usize * height as usize;
+    delta.clear();
+    while delta.len() < total {
+        let run = get_varint(&mut buf)? as usize;
+        if !buf.has_remaining() {
+            return Err(MediaError::Truncated {
+                available: 0,
+                needed: 1,
+            });
+        }
+        let value = buf.get_u8();
+        if run == 0 || delta.len() + run > total {
+            return Err(MediaError::PixelCountMismatch {
+                expected: total,
+                actual: delta.len() + run,
+            });
+        }
+        let new_len = delta.len() + run;
+        delta.resize(new_len, value);
+    }
+
+    let w = width as usize;
+    for row in 1..height as usize {
+        let (above, cur) = delta.split_at_mut(row * w);
+        xor_rows(&mut cur[..w], &above[(row - 1) * w..]);
+    }
+    if !matches!(lut_cache, Some((s, _)) if *s == shift) {
+        *lut_cache = Some((shift, dequant_lut(shift)));
+    }
+    let (_, lut) = lut_cache.as_ref().expect("lut cache just filled");
+    let pixels: Vec<u8> = delta.iter().map(|&p| lut[p as usize]).collect();
+    Ok(Frame::from_pixels(width, height, pixels, seq, timestamp_ns))
+}
+
 /// Reconstruction table: quantised value → band-centre pixel value.
 #[inline]
 fn dequant_lut(shift: u8) -> [u8; 256] {
@@ -595,6 +665,42 @@ mod tests {
                 joint_intensity(joint)
             );
         }
+    }
+
+    #[test]
+    fn decode_batch_matches_decode_per_slot() {
+        let renderer = SceneRenderer::new(160, 120);
+        // Mixed qualities and sizes exercise both the LUT cache (runs of
+        // equal shifts) and scratch-plane reuse across differing frames.
+        let mut encoded: Vec<Bytes> = Vec::new();
+        for (i, shift) in [2u8, 2, 0, 5, 5, 2].iter().enumerate() {
+            let pose = standing_pose().translated(i as f32 * 0.01, 0.0);
+            let frame = renderer.render(&pose, i as u64, i as u64 * 10);
+            encoded.push(encode(&frame, Quality::new(*shift)));
+        }
+        let batch = decode_batch(encoded.iter().map(|b| b.as_ref()));
+        assert_eq!(batch.len(), encoded.len());
+        for (bytes, result) in encoded.iter().zip(batch) {
+            let single = decode(bytes).unwrap();
+            let batched = result.unwrap();
+            assert_eq!(batched.pixels(), single.pixels());
+            assert_eq!(batched.seq(), single.seq());
+        }
+    }
+
+    #[test]
+    fn decode_batch_reports_errors_per_slot() {
+        let good = encode(&test_frame(), Quality::default());
+        let results = decode_batch([good.as_ref(), b"NOPE" as &[u8], &good[..10], good.as_ref()]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(MediaError::BadMagic { .. })));
+        assert!(results[2].is_err());
+        // A bad slot must not poison scratch state for the next one.
+        assert_eq!(
+            results[3].as_ref().unwrap().pixels(),
+            results[0].as_ref().unwrap().pixels()
+        );
+        assert!(decode_batch(std::iter::empty::<&[u8]>()).is_empty());
     }
 
     #[test]

@@ -39,25 +39,49 @@ impl Error for ClassifyError {}
 
 /// Extracts the pooled 8×8 mean-intensity feature vector of a frame.
 pub fn image_features(frame: &Frame) -> Vec<f32> {
+    let mut scratch = FeatureScratch::default();
+    let mut out = Vec::new();
+    image_features_into(frame, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable accumulators for [`image_features_into`]: the batch paths carry
+/// one of these across a whole batch instead of allocating per frame.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    sums: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+/// Writes the pooled feature vector of `frame` into `out` (cleared first),
+/// accumulating through `scratch`. Output is identical to
+/// [`image_features`]; the difference is purely allocation reuse.
+pub fn image_features_into(frame: &Frame, scratch: &mut FeatureScratch, out: &mut Vec<f32>) {
     let width = frame.width() as usize;
     let height = frame.height() as usize;
     let pixels = frame.pixels();
-    let mut sums = vec![0u64; FEATURE_DIM];
-    let mut counts = vec![0u64; FEATURE_DIM];
+    scratch.sums.clear();
+    scratch.sums.resize(FEATURE_DIM, 0);
+    scratch.counts.clear();
+    scratch.counts.resize(FEATURE_DIM, 0);
     for y in 0..height {
         let gy = y * GRID / height;
         let row = &pixels[y * width..(y + 1) * width];
         for (x, &p) in row.iter().enumerate() {
             let gx = x * GRID / width;
             let cell = gy * GRID + gx;
-            sums[cell] += u64::from(p);
-            counts[cell] += 1;
+            scratch.sums[cell] += u64::from(p);
+            scratch.counts[cell] += 1;
         }
     }
-    sums.iter()
-        .zip(counts.iter())
-        .map(|(&s, &c)| if c == 0 { 0.0 } else { s as f32 / c as f32 })
-        .collect()
+    out.clear();
+    out.extend(
+        scratch
+            .sums
+            .iter()
+            .zip(scratch.counts.iter())
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s as f32 / c as f32 }),
+    );
 }
 
 /// A nearest-centroid image classifier.
@@ -119,6 +143,26 @@ impl ImageClassifier {
         (&self.labels[best], dists[best])
     }
 
+    /// Classifies a batch of frames, one `(label, distance)` per frame in
+    /// order. Matches [`ImageClassifier::classify`] exactly; the batch path
+    /// reuses a single feature/scratch/distance buffer set across the whole
+    /// batch instead of allocating three vectors per frame.
+    pub fn classify_batch(&self, frames: &[&Frame]) -> Vec<(&str, f32)> {
+        let mut scratch = FeatureScratch::default();
+        let mut features = Vec::with_capacity(FEATURE_DIM);
+        let mut dists = Vec::with_capacity(self.centroids.len());
+        frames
+            .iter()
+            .map(|frame| {
+                image_features_into(frame, &mut scratch, &mut features);
+                dists.clear();
+                dists.extend(self.centroids.iter().map(|c| distance(&features, c)));
+                let best = argmin(&dists).expect("trained classifier has classes");
+                (self.labels[best].as_str(), dists[best])
+            })
+            .collect()
+    }
+
     /// Accuracy over labelled frames.
     pub fn accuracy<'a, I>(&self, examples: I) -> f32
     where
@@ -173,6 +217,37 @@ mod tests {
         assert_eq!(clf.classify(&test_stand).0, "standing");
         assert_eq!(clf.classify(&test_plank).0, "plank");
         assert!(clf.accuracy(refs.iter().copied()) > 0.9);
+    }
+
+    #[test]
+    fn batch_paths_match_single_frame_paths() {
+        let mut examples = Vec::new();
+        for i in 0..6 {
+            let phase = i as f32 / 6.0;
+            examples.push((render(ExerciseKind::Idle, phase), "standing"));
+            examples.push((render(ExerciseKind::Pushup, phase), "plank"));
+        }
+        let refs: Vec<(&Frame, &str)> = examples.iter().map(|(f, l)| (f, *l)).collect();
+        let clf = ImageClassifier::train(refs.iter().copied()).unwrap();
+
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| render(ExerciseKind::Squat, i as f32 / 5.0))
+            .collect();
+        let frame_refs: Vec<&Frame> = frames.iter().collect();
+        // Feature extraction through reused scratch is identical.
+        let mut scratch = FeatureScratch::default();
+        let mut out = Vec::new();
+        for frame in &frames {
+            image_features_into(frame, &mut scratch, &mut out);
+            assert_eq!(out, image_features(frame));
+        }
+        // And so is classification.
+        let batched = clf.classify_batch(&frame_refs);
+        assert_eq!(batched.len(), frames.len());
+        for (frame, batched) in frames.iter().zip(batched) {
+            assert_eq!(batched, clf.classify(frame));
+        }
+        assert!(clf.classify_batch(&[]).is_empty());
     }
 
     #[test]

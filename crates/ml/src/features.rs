@@ -22,14 +22,35 @@ pub fn normalize_pose(pose: &Pose) -> Pose {
 ///
 /// Returns `None` unless exactly [`WINDOW_LEN`] poses are supplied.
 pub fn window_features(window: &[Pose]) -> Option<Vec<f32>> {
+    let mut out = Vec::new();
+    window_features_into(window, &mut out).then_some(out)
+}
+
+/// Allocation-reusing variant of [`window_features`] for batch callers:
+/// clears `out` and fills it with the window's [`WINDOW_DIM`] features.
+/// Returns `false` (leaving `out` empty) unless exactly [`WINDOW_LEN`]
+/// poses are supplied. One buffer carried across a batch of windows
+/// replaces one `Vec` allocation per window (plus the per-pose flatten
+/// temporaries the old path paid).
+pub fn window_features_into(window: &[Pose], out: &mut Vec<f32>) -> bool {
+    out.clear();
     if window.len() != WINDOW_LEN {
-        return None;
+        return false;
     }
-    let mut out = Vec::with_capacity(WINDOW_DIM);
+    out.reserve(WINDOW_DIM);
     for pose in window {
-        out.extend(normalize_pose(pose).flatten());
+        append_normalized(pose, out);
     }
-    Some(out)
+    true
+}
+
+/// Appends a hip-normalised flattened pose to `out` without allocating.
+fn append_normalized(pose: &Pose, out: &mut Vec<f32>) {
+    let normalized = normalize_pose(pose);
+    for kp in normalized.keypoints() {
+        out.push(kp.x);
+        out.push(kp.y);
+    }
 }
 
 /// A sliding pose window that yields a feature vector once full.
@@ -85,7 +106,17 @@ impl PoseWindow {
 /// Per-frame feature for the rep counter: the hip-normalised flattened pose
 /// (34 values). The rep counter clusters these with k-means.
 pub fn frame_features(pose: &Pose) -> Vec<f32> {
-    normalize_pose(pose).flatten()
+    let mut out = Vec::with_capacity(FRAME_DIM);
+    frame_features_into(pose, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`frame_features`]: clears `out` and fills
+/// it with the pose's [`FRAME_DIM`] features.
+pub fn frame_features_into(pose: &Pose, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(FRAME_DIM);
+    append_normalized(pose, out);
 }
 
 /// Dimensionality of [`frame_features`].
@@ -155,5 +186,29 @@ mod tests {
     #[test]
     fn frame_features_dimension() {
         assert_eq!(frame_features(&Pose::default()).len(), FRAME_DIM);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let windows: Vec<Vec<Pose>> = (0..4)
+            .map(|w| {
+                (0..WINDOW_LEN)
+                    .map(|i| ExerciseKind::Squat.pose_at_phase((w * WINDOW_LEN + i) as f32 / 60.0))
+                    .collect()
+            })
+            .collect();
+        // One buffer reused across the whole batch produces exactly what
+        // the allocating path produces, window after window.
+        let mut buf = Vec::new();
+        for window in &windows {
+            assert!(window_features_into(window, &mut buf));
+            assert_eq!(Some(buf.clone()), window_features(window));
+        }
+        assert!(!window_features_into(&windows[0][..3], &mut buf));
+        assert!(buf.is_empty(), "failed extraction must leave buffer empty");
+
+        let pose = ExerciseKind::JumpingJack.pose_at_phase(0.4);
+        frame_features_into(&pose, &mut buf);
+        assert_eq!(buf, frame_features(&pose));
     }
 }

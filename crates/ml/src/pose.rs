@@ -16,6 +16,12 @@ use crate::math::scalar_mean;
 use videopipe_media::scene::{joint_for_intensity, JOINT_BAND_HALF_WIDTH};
 use videopipe_media::{Frame, Joint, Keypoint, Pose, JOINT_COUNT};
 
+/// Anything at least this bright counts as a body pixel (bone or joint,
+/// with a small margin below the joint bands). Kept below the lowest joint
+/// band: that containment is what lets the fused batch kernel merge the
+/// bbox and centroid passes exactly.
+const BODY_THRESHOLD: u8 = 30;
+
 /// A detected pose: keypoints in scene coordinates, a bounding box, and
 /// per-joint confidence.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,7 +93,6 @@ impl PoseDetector {
 
         // Pass 1: bounding box of all "body" pixels (anything bright enough
         // to be bone or joint, with a small margin below the joint bands).
-        let body_threshold = 30u8;
         let mut min_x = usize::MAX;
         let mut min_y = usize::MAX;
         let mut max_x = 0usize;
@@ -96,7 +101,7 @@ impl PoseDetector {
         for y in 0..height {
             let row = &pixels[y * width..(y + 1) * width];
             for (x, &p) in row.iter().enumerate() {
-                if p >= body_threshold {
+                if p >= BODY_THRESHOLD {
                     body_pixels += 1;
                     min_x = min_x.min(x);
                     min_y = min_y.min(y);
@@ -123,6 +128,105 @@ impl PoseDetector {
                     count[j] += 1;
                 }
             }
+        }
+
+        self.finish(
+            width,
+            height,
+            (min_x, min_y, max_x, max_y),
+            body_pixels,
+            &sum_x,
+            &sum_y,
+            &count,
+        )
+    }
+
+    /// Detects poses in a batch of frames, one result per frame in order.
+    ///
+    /// The batch kernel folds the two per-pixel scans of [`detect`] into a
+    /// single fused pass per frame: the bounding box and the per-joint
+    /// centroids accumulate together, halving the raster traffic for the
+    /// whole batch. This is exact, not approximate — every joint band starts
+    /// at `JOINT_BASE_INTENSITY - JOINT_BAND_HALF_WIDTH`, well above the
+    /// body threshold, so a joint pixel is always a body pixel and therefore
+    /// always inside the box the restricted second pass would have scanned;
+    /// both kernels see identical pixels in identical (row-major) order and
+    /// produce bit-identical output.
+    ///
+    /// [`detect`]: PoseDetector::detect
+    pub fn detect_batch(&self, frames: &[&Frame]) -> Vec<Option<DetectedPose>> {
+        frames
+            .iter()
+            .map(|frame| self.detect_fused(frame))
+            .collect()
+    }
+
+    /// The fused single-pass kernel behind [`PoseDetector::detect_batch`].
+    fn detect_fused(&self, frame: &Frame) -> Option<DetectedPose> {
+        let width = frame.width() as usize;
+        let height = frame.height() as usize;
+        let pixels = frame.pixels();
+
+        let mut min_x = usize::MAX;
+        let mut min_y = usize::MAX;
+        let mut max_x = 0usize;
+        let mut max_y = 0usize;
+        let mut body_pixels = 0usize;
+        let mut sum_x = [0f64; JOINT_COUNT];
+        let mut sum_y = [0f64; JOINT_COUNT];
+        let mut count = [0usize; JOINT_COUNT];
+        for y in 0..height {
+            let row = &pixels[y * width..(y + 1) * width];
+            for (x, &p) in row.iter().enumerate() {
+                if p >= BODY_THRESHOLD {
+                    body_pixels += 1;
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                    if let Some(joint) = joint_for_intensity(p) {
+                        let j = joint.index();
+                        sum_x[j] += x as f64;
+                        sum_y[j] += y as f64;
+                        count[j] += 1;
+                    }
+                }
+            }
+        }
+        if body_pixels < self.min_blob_pixels * 4 || min_x > max_x || min_y > max_y {
+            return None;
+        }
+
+        self.finish(
+            width,
+            height,
+            (min_x, min_y, max_x, max_y),
+            body_pixels,
+            &sum_x,
+            &sum_y,
+            &count,
+        )
+    }
+
+    /// Everything after the pixel scans: centroids → keypoints, confidence,
+    /// bbox-centre imputation of missing joints, and the score gate. Shared
+    /// by [`detect`] and the fused batch kernel so the two stay identical.
+    ///
+    /// [`detect`]: PoseDetector::detect
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        width: usize,
+        height: usize,
+        bbox: (usize, usize, usize, usize),
+        body_pixels: usize,
+        sum_x: &[f64; JOINT_COUNT],
+        sum_y: &[f64; JOINT_COUNT],
+        count: &[usize; JOINT_COUNT],
+    ) -> Option<DetectedPose> {
+        let (min_x, min_y, max_x, max_y) = bbox;
+        if body_pixels < self.min_blob_pixels * 4 || min_x > max_x || min_y > max_y {
+            return None;
         }
 
         let mut keypoints = [Keypoint::default(); JOINT_COUNT];
@@ -296,6 +400,40 @@ mod tests {
             assert!(d.score < 1.0);
         }
         assert!(strict.detect(&frame).is_some() || lenient.detect(&frame).is_some());
+    }
+
+    #[test]
+    fn detect_batch_is_bit_identical_to_detect() {
+        use videopipe_media::scene::{joint_intensity, JOINT_BAND_HALF_WIDTH};
+        // The fused kernel's exactness argument requires every joint band to
+        // sit above the body threshold; pin that invariant here so a future
+        // retune of the scene constants can't silently break the batch path.
+        for joint in Joint::ALL {
+            assert!(joint_intensity(joint) - JOINT_BAND_HALF_WIDTH >= BODY_THRESHOLD);
+        }
+
+        let detector = PoseDetector::new();
+        let renderer = SceneRenderer::new(320, 240);
+        let mut rng = StdRng::seed_from_u64(7);
+        let clip = MotionClip::new(ExerciseKind::Squat, 2.0);
+        let mut frames: Vec<Frame> = [0.0, 0.3, 0.6, 0.9]
+            .iter()
+            .map(|&phase| renderer.render(&clip.pose_at_phase(phase), 0, 0))
+            .collect();
+        // Include a noisy frame, an empty frame (None), and a half
+        // off-screen pose so every finish() branch is compared.
+        frames.push(renderer.render_noisy(&Pose::default(), 8.0, &mut rng, 0, 0));
+        frames.push(FrameBuf::new(320, 240).freeze(0, 0));
+        frames.push(renderer.render(&Pose::default().translated(0.45, 0.0), 0, 0));
+
+        let refs: Vec<&Frame> = frames.iter().collect();
+        let batched = detector.detect_batch(&refs);
+        assert_eq!(batched.len(), frames.len());
+        for (frame, batched) in frames.iter().zip(&batched) {
+            assert_eq!(batched, &detector.detect(frame));
+        }
+        assert!(batched[5].is_none(), "empty frame must stay undetected");
+        assert!(detector.detect_batch(&[]).is_empty());
     }
 
     #[test]

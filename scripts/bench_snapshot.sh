@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Hot-path performance snapshot: runs the bench_snapshot binary (release)
-# and emits BENCH_PR2.json at the workspace root.
+# Hot-path + dispatch-batching performance snapshot: runs the
+# bench_snapshot binary (release) and emits BENCH_PR3.json at the
+# workspace root (codec kernels, encode-cache fan-out, inproc roundtrips,
+# executor draining, and the service-dispatch saturation sweep).
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
 #   --quick    shrink iteration counts (CI smoke; numbers are noisier)
-#   --out PATH write the JSON somewhere else (default BENCH_PR2.json)
+#   --out PATH write the JSON somewhere else (default BENCH_PR3.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

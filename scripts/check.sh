@@ -17,6 +17,52 @@ cargo test -q
 echo "==> bench smoke (hot-path snapshot, quick mode)"
 cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
     --quick --out target/bench_smoke.json
+
+echo "==> codec throughput floor (vs committed BENCH_PR2.json, 20% slack)"
+# Offline regression gate: the quick smoke run must stay within 20% of the
+# committed PR 2 codec numbers. Keys are extracted with awk so the gate
+# needs no JSON tooling. A failing probe gets one re-measure before the
+# gate fails hard: quick-mode runs on shared single-core runners dip on
+# cold starts without any real regression.
+extract() { # extract FILE SECTION KEY -> number
+    awk -v section="\"$2\":" -v key="\"$3\":" '
+        $0 ~ section {
+            line = $0
+            sub(".*" key " *", "", line)
+            sub("[,}].*", "", line)
+            print line
+            exit
+        }' "$1"
+}
+gate() { # gate SNAPSHOT -> 0 if every probe clears the floor
+    local snapshot="$1"
+    for probe in "encode scalar_mb_s" "encode word_mb_s" "decode scalar_mb_s" "decode word_mb_s"; do
+        set -- $probe
+        floor=$(extract BENCH_PR2.json "$1" "$2")
+        now=$(extract "$snapshot" "$1" "$2")
+        awk -v floor="$floor" -v now="$now" -v name="$1.$2" 'BEGIN {
+            if (floor == "" || now == "") {
+                printf "FAIL: %s missing from snapshot or baseline\n", name
+                exit 1
+            }
+            limit = floor * 0.8
+            if (now + 0 < limit) {
+                printf "FAIL: %s regressed: %.1f MB/s < 80%% of committed %.1f MB/s\n", name, now, floor
+                exit 1
+            }
+            printf "ok: %s %.1f MB/s (floor %.1f)\n", name, now, limit
+        }' || return 1
+    done
+}
+gate_with_retry() {
+    if ! gate target/bench_smoke.json; then
+        echo "floor missed; re-measuring once to rule out a cold start"
+        cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
+            --quick --out target/bench_smoke.json
+        gate target/bench_smoke.json
+    fi
+}
+gate_with_retry
 rm -f target/bench_smoke.json
 
 echo "All checks passed."
