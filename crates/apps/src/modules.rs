@@ -242,6 +242,47 @@ impl RepCounterModule {
     }
 }
 
+/// Rep-counter snapshot format version.
+const REP_SNAPSHOT_V1: u8 = 1;
+
+/// Decodes a [`RepCounterModule`] checkpoint produced by
+/// [`Module::snapshot`]: version, reps, state-machine flags, then the
+/// fitted model (initial cluster + two centroids). Returns `None` on any
+/// malformation — restore is best-effort and falls back to recalibration.
+fn decode_rep_snapshot(bytes: &[u8]) -> Option<RepCounter> {
+    let (&version, rest) = bytes.split_first()?;
+    if version != REP_SNAPSHOT_V1 || rest.len() < 11 {
+        return None;
+    }
+    let reps = u32::from_be_bytes(rest[0..4].try_into().ok()?);
+    let state = rest[4] as usize;
+    let away = rest[5] != 0;
+    let initial = rest[6] as usize;
+    if state > 1 || initial > 1 {
+        return None;
+    }
+    let dim = u32::from_be_bytes(rest[7..11].try_into().ok()?) as usize;
+    let body = &rest[11..];
+    if body.len() != dim.checked_mul(8)? {
+        return None;
+    }
+    let mut centroids = Vec::with_capacity(2);
+    for c in 0..2 {
+        let mut centroid = Vec::with_capacity(dim);
+        for i in 0..dim {
+            let off = (c * dim + i) * 4;
+            centroid.push(f32::from_be_bytes(body[off..off + 4].try_into().ok()?));
+        }
+        centroids.push(centroid);
+    }
+    Some(RepCounter::resume(
+        RepCounterModel::from_parts(centroids, initial),
+        state,
+        away,
+        reps,
+    ))
+}
+
 impl Module for RepCounterModule {
     fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
         let Event::Message(msg) = event else {
@@ -276,6 +317,37 @@ impl Module for RepCounterModule {
             }
         };
         ctx.call_module(&self.next, Payload::Count(u64::from(reps)))
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        // Uncalibrated modules are cheap to rebuild from scratch; only the
+        // fitted model and rep progress are worth checkpointing. The
+        // in-flight calibration window and the debounce run are transient
+        // by design — restore resumes *near* where the module died.
+        let counter = self.counter.as_ref()?;
+        let model = counter.model();
+        let centroids = model.centroids();
+        let dim = centroids[0].len();
+        let mut out = Vec::with_capacity(12 + dim * 8);
+        out.push(REP_SNAPSHOT_V1);
+        out.extend_from_slice(&counter.reps().to_be_bytes());
+        out.push(counter.state() as u8);
+        out.push(u8::from(counter.away_from_initial()));
+        out.push(model.initial_cluster() as u8);
+        out.extend_from_slice(&(dim as u32).to_be_bytes());
+        for centroid in centroids {
+            for v in centroid {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        Some(out)
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        if let Some(counter) = decode_rep_snapshot(snapshot) {
+            self.counter = Some(counter);
+            self.calibration.clear();
+        }
     }
 }
 
@@ -695,6 +767,54 @@ mod tests {
             "should count ~3 post-calibration squats, got {last_count}"
         );
         assert!(ctx.logs.iter().any(|l| l.contains("calibrated")));
+    }
+
+    #[test]
+    fn rep_module_snapshot_survives_restart() {
+        use crate::services::RepCounterService;
+        use videopipe_media::motion::{ExerciseKind, MotionClip};
+        let mut ctx = StubCtx::new().with_service(Arc::new(RepCounterService::new()));
+        let mut module = RepCounterModule::new("rep_counter", "display");
+        // Uncalibrated modules have nothing worth checkpointing.
+        assert!(module.snapshot().is_none());
+        let clip = MotionClip::new(ExerciseKind::Squat, 2.0);
+        for i in 0..120u64 {
+            let pose = clip.pose_at(i * 66_666_667);
+            module
+                .on_event(msg(Payload::Pose { pose, score: 1.0 }, i), &mut ctx)
+                .unwrap();
+        }
+        let reps_before = match ctx.sent.last() {
+            Some((_, Payload::Count(n))) => *n,
+            other => panic!("expected a count, got {other:?}"),
+        };
+        assert!(reps_before > 0, "should have counted reps pre-crash");
+
+        // "Crash": a fresh instance restored from the checkpoint continues
+        // from the same model and rep total instead of recalibrating.
+        let snapshot = module.snapshot().expect("calibrated module checkpoints");
+        let mut revived = RepCounterModule::new("rep_counter", "display");
+        revived.restore(&snapshot);
+        assert_eq!(revived.model(), module.model());
+        ctx.sent.clear();
+        for i in 120..210u64 {
+            let pose = clip.pose_at(i * 66_666_667);
+            revived
+                .on_event(msg(Payload::Pose { pose, score: 1.0 }, i), &mut ctx)
+                .unwrap();
+        }
+        let reps_after = match ctx.sent.last() {
+            Some((_, Payload::Count(n))) => *n,
+            other => panic!("expected a count, got {other:?}"),
+        };
+        assert!(
+            reps_after > reps_before,
+            "restored counter must keep counting past {reps_before}, got {reps_after}"
+        );
+        // Garbage snapshots are ignored, not fatal.
+        let mut fresh = RepCounterModule::new("rep_counter", "display");
+        fresh.restore(b"not a snapshot");
+        assert!(fresh.model().is_none());
     }
 
     #[test]

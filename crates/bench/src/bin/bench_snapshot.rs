@@ -4,9 +4,12 @@
 //! touched — codec kernels (word-wide vs the scalar reference oracle),
 //! per-(frame, quality) encode caching under fan-out, inproc transport
 //! roundtrips, multi-executor request draining, and the service-dispatch
-//! saturation sweep (offered load × batch setting) — and writes the
-//! results to `BENCH_PR3.json` (override with `--out`). `--quick` shrinks
-//! iteration counts so the run doubles as a CI smoke test.
+//! saturation sweep (offered load × batch setting) — plus the
+//! self-healing failover MTTR cell (a deterministic sim crashes a
+//! mid-pipeline device and the recovery timeline is reported in virtual
+//! time) — and writes the results to `BENCH_PR4.json` (override with
+//! `--out`). `--quick` shrinks iteration counts so the run doubles as a
+//! CI smoke test.
 //!
 //! Run with `scripts/bench_snapshot.sh` or directly:
 //! `cargo run --release -p videopipe-bench --bin bench_snapshot -- --quick`
@@ -26,6 +29,7 @@ use videopipe_core::PipelineError;
 use videopipe_media::scene::SceneRenderer;
 use videopipe_media::{codec, FrameStore, Pose};
 use videopipe_net::{InprocHub, MsgReceiver, MsgSender, WireMessage};
+use videopipe_sim::{FailoverConfig, FaultPlan, Scenario, SimProfile};
 
 struct Args {
     quick: bool,
@@ -35,7 +39,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR3.json".to_string(),
+        out: "BENCH_PR4.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -552,6 +556,127 @@ fn saturation_section(quick: bool, out: &mut String) {
     let _ = writeln!(out, r#"  "saturation_speedup_x": {speedup:.2}"#);
 }
 
+/// Source for the failover MTTR cell: one message per admitted tick.
+struct FoSrc;
+impl Module for FoSrc {
+    fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+        if let Event::FrameTick { t_ns } = event {
+            ctx.call_module("work", Payload::Count(t_ns))?;
+        }
+        Ok(())
+    }
+}
+
+/// Mid-pipeline worker on the device that dies: one service call per frame.
+struct FoWork;
+impl Module for FoWork {
+    fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+        if let Event::Message(msg) = event {
+            let resp = ctx.call_service("double", ServiceRequest::new("go", msg.payload))?;
+            ctx.call_module("sink", resp.payload)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sink returning the flow-control credit.
+struct FoSink;
+impl Module for FoSink {
+    fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+        if let Event::Message(_) = event {
+            ctx.signal_source()?;
+        }
+        Ok(())
+    }
+}
+
+/// Stateless service bound on the dying device and the spare, so the
+/// replanner has somewhere to rebind.
+struct FoDouble;
+impl Service for FoDouble {
+    fn name(&self) -> &str {
+        "double"
+    }
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        match request.payload {
+            Payload::Count(n) => Ok(ServiceResponse::new(Payload::Count(n.wrapping_mul(2)))),
+            ref other => Err(PipelineError::Service {
+                service: "double".into(),
+                reason: format!("expected count, got {}", other.kind_name()),
+            }),
+        }
+    }
+}
+
+/// Self-healing MTTR: a deterministic sim crashes the mid-pipeline device
+/// at t = 5 s with failover enabled and reports the crash → confirmation,
+/// confirmation → replan, and crash → first-new-epoch-delivery latencies.
+/// Virtual time: the numbers replay exactly, independent of host speed, so
+/// the CI gate on them is noise-free.
+fn mttr_section(out: &mut String) {
+    let spec = PipelineSpec::new("selfheal")
+        .with_module(ModuleSpec::new("src", "FoSrc").with_next("work"))
+        .with_module(
+            ModuleSpec::new("work", "FoWork")
+                .with_service("double")
+                .with_next("sink"),
+        )
+        .with_module(ModuleSpec::new("sink", "FoSink"));
+    let devices = vec![
+        DeviceSpec::new("edge", 1.0),
+        DeviceSpec::new("mid", 1.0)
+            .with_containers(1)
+            .with_service("double"),
+        DeviceSpec::new("spare", 1.0)
+            .with_containers(1)
+            .with_service("double"),
+    ];
+    let placement = Placement::new()
+        .assign("src", "edge")
+        .assign("work", "mid")
+        .assign("sink", "edge");
+    let deployed = plan(&spec, &devices, &placement).expect("failover plan");
+
+    let mut modules = ModuleRegistry::new();
+    modules.register("FoSrc", || Box::new(FoSrc));
+    modules.register("FoWork", || Box::new(FoWork));
+    modules.register("FoSink", || Box::new(FoSink));
+    let mut services = ServiceRegistry::new();
+    services.install(Arc::new(FoDouble));
+
+    let mut scenario = Scenario::new(SimProfile::deterministic().with_seed(11));
+    scenario.inject_faults(FaultPlan::new(11).with_device_crash("mid", Duration::from_secs(5)));
+    scenario.enable_failover(FailoverConfig::default());
+    scenario
+        .add_pipeline(&deployed, &modules, &services, 10.0, 1)
+        .expect("add failover pipeline");
+    let report = scenario.run(Duration::from_secs(12));
+
+    let ev = report
+        .failovers
+        .first()
+        .expect("device crash should trigger a failover");
+    let detection_ms = ev.detection_latency().as_secs_f64() * 1e3;
+    let replan_ms = ev.replanned_at.saturating_sub(ev.detected_at).as_secs_f64() * 1e3;
+    let mttr_ms = ev
+        .mttr()
+        .expect("no delivery in the new epoch")
+        .as_secs_f64()
+        * 1e3;
+    println!(
+        "failover MTTR (sim, crash at 5 s): detect {detection_ms:.1} ms, replan \
+         {replan_ms:.1} ms, crash -> first delivery {mttr_ms:.1} ms"
+    );
+    let _ = writeln!(
+        out,
+        r#"  "mttr": {{"detection_ms": {detection_ms:.1}, "replan_ms": {replan_ms:.1}, "mttr_ms": {mttr_ms:.1}}},"#
+    );
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -565,6 +690,7 @@ fn main() {
     fanout_section(args.quick, &mut json);
     roundtrip_section(args.quick, &mut json);
     executor_section(args.quick, &mut json);
+    mttr_section(&mut json);
     saturation_section(args.quick, &mut json);
     json.push_str("}\n");
     std::fs::write(&args.out, &json).expect("write snapshot json");

@@ -494,6 +494,65 @@ pub fn autoplace_with_limit(
     autoplace_impl(spec, devices, params, &Placement::new(), max_enumerate)
 }
 
+/// Recomputes a deployment after `dead_device` is confirmed lost.
+///
+/// Modules already on surviving devices stay exactly where they are (their
+/// state, threads and caches are intact — moving them would widen the
+/// outage), so only the orphans stranded on the dead device are re-placed,
+/// via [`autoplace_pinned`] restricted to the survivors. `affinity` pins
+/// win over current positions: a camera module affined to the phone is
+/// re-pinned there even if the optimiser would rather move it.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Deploy`] when no device survives, and
+/// propagates [`PipelineError::ServiceUnavailable`] when a service the
+/// pipeline needs was installed only on the dead device — the pipeline
+/// genuinely cannot heal without it.
+pub fn replan_after_device_loss(
+    current: &DeploymentPlan,
+    dead_device: &str,
+    params: &CostParams,
+    affinity: &Placement,
+) -> Result<DeploymentPlan, PipelineError> {
+    let survivors: Vec<DeviceSpec> = current
+        .devices
+        .iter()
+        .filter(|d| d.name != dead_device)
+        .cloned()
+        .collect();
+    if survivors.is_empty() {
+        return Err(PipelineError::Deploy(format!(
+            "no devices survive the loss of {dead_device:?}"
+        )));
+    }
+    // Surface the un-healable case with a typed error: a service the
+    // pipeline needs that was installed only on the dead device.
+    for m in &current.pipeline.modules {
+        for service in &m.services {
+            if !survivors.iter().any(|d| d.has_service(service)) {
+                return Err(PipelineError::ServiceUnavailable {
+                    module: m.name.clone(),
+                    service: service.clone(),
+                });
+            }
+        }
+    }
+    let mut pins = Placement::new();
+    for (module, device) in current.placement.iter() {
+        if device != dead_device {
+            pins = pins.assign(module, device);
+        }
+    }
+    for (module, device) in affinity.iter() {
+        if survivors.iter().any(|d| d.name == device) {
+            pins = pins.assign(module, device);
+        }
+    }
+    let (placement, _) = autoplace_pinned(&current.pipeline, &survivors, params, &pins)?;
+    plan(&current.pipeline, &survivors, &placement)
+}
+
 fn autoplace_impl(
     spec: &PipelineSpec,
     devices: &[DeviceSpec],
@@ -753,6 +812,89 @@ mod tests {
     fn autoplace_errors_when_impossible() {
         let devices = vec![DeviceSpec::new("phone", 1.0)]; // no service anywhere
         assert!(autoplace(&fitness_spec(), &devices, &CostParams::default()).is_err());
+    }
+
+    #[test]
+    fn replan_moves_only_the_orphans() {
+        let devices = vec![
+            DeviceSpec::new("phone", 0.6),
+            DeviceSpec::new("desktop", 2.0)
+                .with_containers(2)
+                .with_service("pose_detector"),
+            DeviceSpec::new("tv", 0.8)
+                .with_containers(1)
+                .with_service("pose_detector"),
+        ];
+        let before = plan(&fitness_spec(), &devices, &videopipe_placement()).unwrap();
+        let healed = replan_after_device_loss(
+            &before,
+            "desktop",
+            &CostParams::default(),
+            &Placement::new(),
+        )
+        .unwrap();
+        // Survivors keep their modules; the orphan lands on a survivor.
+        assert_eq!(healed.placement.device_for("video"), Some("phone"));
+        assert_eq!(healed.placement.device_for("display"), Some("tv"));
+        let new_home = healed.placement.device_for("pose").unwrap();
+        assert_ne!(new_home, "desktop");
+        assert!(healed.devices.iter().all(|d| d.name != "desktop"));
+        // The service binding re-resolves against survivors.
+        assert_eq!(
+            healed.binding("pose", "pose_detector").unwrap().device,
+            "tv"
+        );
+    }
+
+    #[test]
+    fn replan_respects_affinity_pins() {
+        let devices = vec![
+            DeviceSpec::new("phone", 0.6),
+            DeviceSpec::new("desktop", 2.0)
+                .with_containers(2)
+                .with_service("pose_detector"),
+            DeviceSpec::new("tv", 0.8),
+        ];
+        // Everything starts on the tv except pose; kill the tv.
+        let placement = Placement::new()
+            .assign("video", "tv")
+            .assign("pose", "desktop")
+            .assign("display", "tv");
+        let before = plan(&fitness_spec(), &devices, &placement).unwrap();
+        let affinity = Placement::new().assign("video", "phone");
+        let healed =
+            replan_after_device_loss(&before, "tv", &CostParams::default(), &affinity).unwrap();
+        assert_eq!(healed.placement.device_for("video"), Some("phone"));
+        assert_eq!(healed.placement.device_for("pose"), Some("desktop"));
+    }
+
+    #[test]
+    fn replan_errors_when_the_only_service_host_dies() {
+        let before = plan(&fitness_spec(), &devices(), &videopipe_placement()).unwrap();
+        // Only the desktop hosts pose_detector.
+        let err = replan_after_device_loss(
+            &before,
+            "desktop",
+            &CostParams::default(),
+            &Placement::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::ServiceUnavailable { .. }));
+    }
+
+    #[test]
+    fn replan_errors_when_no_device_survives() {
+        let spec = PipelineSpec::new("solo").with_module(ModuleSpec::new("only", "O"));
+        let devices = vec![DeviceSpec::new("phone", 1.0)];
+        let placement = Placement::new().assign("only", "phone");
+        let before = plan(&spec, &devices, &placement).unwrap();
+        assert!(replan_after_device_loss(
+            &before,
+            "phone",
+            &CostParams::default(),
+            &Placement::new()
+        )
+        .is_err());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`deploy`] — devices, placements, service-binding resolution
 //!   (co-located vs remote), and latency-model-driven automatic placement.
 //! * [`flow`] — the no-queue, drop-at-source flow control (§2.3).
+//! * [`health`] — heartbeat-based device failure detection feeding the
+//!   self-healing failover path.
 //! * [`resilience`] — retry policies, per-service circuit breakers and
 //!   degradation policies that keep the §2.3 design from wedging when
 //!   services fail.
@@ -51,6 +53,7 @@ pub mod config;
 pub mod deploy;
 mod error;
 pub mod flow;
+pub mod health;
 pub mod message;
 pub mod metrics;
 pub mod module;
@@ -64,13 +67,16 @@ pub use error::PipelineError;
 
 /// The most frequently used items.
 pub mod prelude {
-    pub use crate::deploy::{plan, DeploymentPlan, DeviceSpec, Placement};
+    pub use crate::deploy::{
+        plan, replan_after_device_loss, DeploymentPlan, DeviceSpec, Placement,
+    };
     pub use crate::error::PipelineError;
+    pub use crate::health::{DeviceStatus, FailureDetector, HealthConfig};
     pub use crate::message::{Header, Message, Payload};
     pub use crate::metrics::PipelineMetrics;
     pub use crate::module::{Event, Module, ModuleCtx, ModuleRegistry};
     pub use crate::resilience::{DegradationPolicy, ResilienceConfig, RetryPolicy};
-    pub use crate::runtime::{LocalRuntime, RuntimeConfig};
+    pub use crate::runtime::{BatchConfig, LocalRuntime, RuntimeConfig};
     pub use crate::service::{Service, ServiceRegistry, ServiceRequest, ServiceResponse};
     pub use crate::spec::{ModuleSpec, PipelineSpec};
 }

@@ -51,6 +51,24 @@ pub trait Module: Send {
     /// An error drops the current frame; the runtime records it and keeps
     /// the pipeline alive.
     fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError>;
+
+    /// Serialises the module's recoverable state for checkpointing.
+    ///
+    /// The runtime calls this periodically; on failover (or a supervised
+    /// restart) the latest snapshot is handed to [`Module::restore`] on the
+    /// fresh instance. Stateless modules keep the default — `None` costs
+    /// nothing and is never stored.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Rebuilds state from a snapshot previously produced by
+    /// [`Module::snapshot`] on an instance of the same module.
+    ///
+    /// Best-effort by design: an unreadable snapshot should leave the
+    /// module in its freshly-constructed state rather than fail, since
+    /// restore runs while the pipeline is already degraded.
+    fn restore(&mut self, _snapshot: &[u8]) {}
 }
 
 /// The capabilities a runtime exposes to a module.
@@ -229,5 +247,13 @@ mod tests {
     #[test]
     fn module_trait_is_object_safe() {
         let _: Box<dyn Module> = Box::new(NoopModule);
+    }
+
+    #[test]
+    fn default_snapshot_is_stateless() {
+        let mut m = NoopModule;
+        assert!(m.snapshot().is_none());
+        m.restore(b"ignored"); // default restore is a no-op
+        assert!(m.snapshot().is_none());
     }
 }

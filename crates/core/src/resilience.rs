@@ -151,6 +151,11 @@ pub struct CircuitBreaker {
     state: BreakerState,
     consecutive_failures: u32,
     opened_at_ns: u64,
+    // Half-open admits exactly one probe at a time: without this lease,
+    // every caller draining a batch during the half-open window would be
+    // admitted as a "probe" and a still-down service gets hammered.
+    probe_in_flight: bool,
+    probe_started_ns: u64,
     opened: u64,
     reclosed: u64,
     rejected: u64,
@@ -172,6 +177,8 @@ impl CircuitBreaker {
             state: BreakerState::Closed,
             consecutive_failures: 0,
             opened_at_ns: 0,
+            probe_in_flight: false,
+            probe_started_ns: 0,
             opened: 0,
             reclosed: 0,
             rejected: 0,
@@ -181,14 +188,18 @@ impl CircuitBreaker {
 
     /// Whether a call may proceed at time `now_ns`. An open breaker whose
     /// cooldown has elapsed transitions to half-open and admits the call as
-    /// a probe.
+    /// the *single* probe for that window; further callers are rejected
+    /// until the probe resolves (or its lease — one cooldown — expires, in
+    /// case the probing caller wedged and never reported back).
     pub fn allow(&mut self, now_ns: u64) -> bool {
+        let cooldown_ns = u64::try_from(self.cooldown.as_nanos()).unwrap_or(u64::MAX);
         match self.state {
             BreakerState::Closed => true,
             BreakerState::Open => {
-                let cooldown_ns = u64::try_from(self.cooldown.as_nanos()).unwrap_or(u64::MAX);
                 if now_ns >= self.opened_at_ns.saturating_add(cooldown_ns) {
                     self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
+                    self.probe_started_ns = now_ns;
                     self.probes += 1;
                     true
                 } else {
@@ -196,7 +207,18 @@ impl CircuitBreaker {
                     false
                 }
             }
-            BreakerState::HalfOpen => true,
+            BreakerState::HalfOpen => {
+                let probe_stale = now_ns >= self.probe_started_ns.saturating_add(cooldown_ns);
+                if self.probe_in_flight && !probe_stale {
+                    self.rejected += 1;
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    self.probe_started_ns = now_ns;
+                    self.probes += 1;
+                    true
+                }
+            }
         }
     }
 
@@ -206,12 +228,14 @@ impl CircuitBreaker {
             self.reclosed += 1;
         }
         self.state = BreakerState::Closed;
+        self.probe_in_flight = false;
         self.consecutive_failures = 0;
     }
 
     /// Records a failed call at time `now_ns`, opening the breaker when the
     /// consecutive-failure threshold is reached or a half-open probe fails.
     pub fn record_failure(&mut self, now_ns: u64) {
+        self.probe_in_flight = false;
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
         let trip = match self.state {
             BreakerState::HalfOpen => true,
@@ -439,6 +463,57 @@ mod tests {
         b.record_failure(0);
         b.record_failure(0);
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        // Regression for batched dispatch: a drained batch of calls arriving
+        // together during the half-open window must consume a single probe,
+        // not one per batch slot.
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure(0);
+        let t = 20_000_000;
+        let admitted: Vec<bool> = (0..8).map(|_| b.allow(t)).collect();
+        assert_eq!(
+            admitted.iter().filter(|a| **a).count(),
+            1,
+            "half-open admitted {admitted:?}"
+        );
+        assert!(admitted[0], "the first caller takes the probe");
+        let snap = b.snapshot();
+        assert_eq!(snap.probes, 1);
+        assert_eq!(snap.rejected, 7);
+        // The probe resolving releases the window.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(t + 1));
+    }
+
+    #[test]
+    fn failed_probe_releases_the_window_for_the_next_cooldown() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure(0);
+        let ms = |m: u64| m * 1_000_000;
+        assert!(b.allow(ms(20)));
+        b.record_failure(ms(20));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Next window admits a fresh (single) probe again.
+        assert!(b.allow(ms(31)));
+        assert!(!b.allow(ms(31)));
+        assert_eq!(b.snapshot().probes, 2);
+    }
+
+    #[test]
+    fn wedged_probe_lease_expires_after_a_cooldown() {
+        // A caller that took the probe and never reported back must not
+        // wedge the breaker half-open forever.
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.record_failure(0);
+        let ms = |m: u64| m * 1_000_000;
+        assert!(b.allow(ms(20))); // probe taken, caller wedges
+        assert!(!b.allow(ms(25)));
+        assert!(b.allow(ms(30)), "probe lease expired; re-probe allowed");
+        assert_eq!(b.snapshot().probes, 2);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::deploy::DeploymentPlan;
 use crate::error::PipelineError;
 use crate::flow::{CreditController, SourcePacer};
+use crate::health::{DeviceStatus, FailureDetector, HealthConfig};
 use crate::message::{Header, Message, Payload};
 use crate::metrics::PipelineMetrics;
 use crate::module::{Event, Module, ModuleCtx, ModuleFactory, ModuleRegistry};
@@ -24,7 +25,7 @@ use crate::resilience::{
 };
 use crate::service::{ServiceRegistry, ServiceRequest, ServiceResponse};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -115,6 +116,23 @@ pub struct RuntimeConfig {
     /// name — lets a deployment batch the heavy detector aggressively while
     /// leaving a latency-critical display service unbatched.
     pub service_batch: HashMap<String, BatchConfig>,
+    /// When set, every device emits heartbeats on the `hb/<pipeline>`
+    /// channel and a failure detector maintains a live
+    /// [`DeviceStatus`] view; a *confirmed* device loss bumps the
+    /// pipeline's fence epoch so in-flight frames from before the loss are
+    /// fenced and their credits reclaimed. `None` (the default) disables
+    /// the health layer entirely and preserves seed behaviour.
+    pub heartbeats: Option<HealthConfig>,
+    /// Interval at which module state is snapshotted
+    /// ([`Module::snapshot`]) into the runtime's checkpoint store, so a
+    /// supervised restart resumes near where the old instance died.
+    /// `None` (the default) disables checkpointing.
+    pub checkpoint_period: Option<Duration>,
+    /// Number of recently delivered frame sequence numbers the pacer
+    /// remembers to suppress double-counting when a frame is redelivered
+    /// (at-least-once delivery after partition heal or failover). `0` (the
+    /// default) disables the window and preserves seed behaviour.
+    pub dedup_window: usize,
 }
 
 impl RuntimeConfig {
@@ -146,6 +164,9 @@ impl Default for RuntimeConfig {
             resilience: ResilienceConfig::default(),
             batch: BatchConfig::disabled(),
             service_batch: HashMap::new(),
+            heartbeats: None,
+            checkpoint_period: None,
+            dedup_window: 0,
         }
     }
 }
@@ -199,6 +220,11 @@ pub struct RunReport {
     /// Final circuit-breaker counters, keyed by service name (empty unless
     /// [`ResilienceConfig::breaker_failure_threshold`] is set).
     pub breakers: HashMap<String, BreakerSnapshot>,
+    /// Final failure-detector view per device (empty unless
+    /// [`RuntimeConfig::heartbeats`] is set).
+    pub device_statuses: Vec<(String, DeviceStatus)>,
+    /// Fence epoch at the end of the run (0 = no confirmed device loss).
+    pub fence_epoch: u64,
 }
 
 /// Shared state for one running pipeline.
@@ -215,6 +241,15 @@ struct Shared {
     config: RuntimeConfig,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
     restarts: AtomicU64,
+    /// Pipeline fence epoch: bumped once per confirmed device loss;
+    /// messages stamped with an older epoch are fenced by the pacer.
+    fence_epoch: AtomicU64,
+    /// Heartbeat failure detector (`None` when heartbeats are disabled).
+    detector: Mutex<Option<FailureDetector>>,
+    /// Latest module snapshots by module name, for checkpointed restarts.
+    checkpoints: Mutex<HashMap<String, Vec<u8>>>,
+    /// Devices whose heartbeat sender is suppressed (chaos hook).
+    muted_heartbeats: Mutex<HashSet<String>>,
 }
 
 impl Shared {
@@ -235,6 +270,9 @@ fn svc_chan(device: &str, service: &str) -> String {
 fn fc_chan(pipeline: &str) -> String {
     format!("fc/{pipeline}")
 }
+fn hb_chan(pipeline: &str) -> String {
+    format!("hb/{pipeline}")
+}
 
 /// Wiring facts one module needs, derived from the plan.
 struct ModuleWiring {
@@ -254,6 +292,10 @@ struct LocalCtx {
     wiring: Arc<ModuleWiring>,
     pipeline: String,
     header: Header,
+    /// Fence epoch of the event being processed; stamped onto every
+    /// outgoing message so the pacer can fence frames admitted before a
+    /// failover.
+    epoch: u64,
     corr: u64,
     reply_rx: videopipe_net::InprocReceiver,
     /// Last successful response per service, for
@@ -490,7 +532,8 @@ impl ModuleCtx for LocalCtx {
                 self.header.frame_seq,
                 self.header.capture_ts_ns,
                 payload.encode(),
-            ),
+            )
+            .with_epoch(self.epoch),
         )?;
         Ok(())
     }
@@ -505,6 +548,7 @@ impl ModuleCtx for LocalCtx {
                 corr_id: 0,
                 seq: self.header.frame_seq,
                 timestamp_ns: self.header.capture_ts_ns,
+                epoch: self.epoch,
                 payload: bytes::Bytes::new(),
             },
         )?;
@@ -602,6 +646,9 @@ impl LocalRuntime {
                     channel_device.insert(svc_chan(&b.device, &b.service), b.device.clone());
                 }
                 channel_device.insert(fc_chan(&pipeline), source_device.clone());
+                // Heartbeats converge on the monitor, which runs alongside
+                // the pacer on the source device.
+                channel_device.insert(hb_chan(&pipeline), source_device.clone());
 
                 let mut tcp_peers = HashMap::new();
                 for d in &plan.devices {
@@ -638,8 +685,96 @@ impl LocalRuntime {
             config: config.clone(),
             breakers: Mutex::new(HashMap::new()),
             restarts: AtomicU64::new(0),
+            fence_epoch: AtomicU64::new(0),
+            detector: Mutex::new(config.heartbeats.clone().map(|h| {
+                let mut d = FailureDetector::new(h);
+                for dev in &plan.devices {
+                    d.expect(&dev.name, 0);
+                }
+                d
+            })),
+            checkpoints: Mutex::new(HashMap::new()),
+            muted_heartbeats: Mutex::new(HashSet::new()),
         });
         let mut threads = Vec::new();
+
+        // --- Health layer: per-device heartbeat senders plus one monitor
+        // that feeds the failure detector and bumps the fence epoch on a
+        // confirmed device loss.
+        if let Some(health) = config.heartbeats.clone() {
+            let hb_inbox = hub.bind(&hb_chan(&pipeline))?;
+            for d in &plan.devices {
+                let shared_hb = Arc::clone(&shared);
+                let device = d.name.clone();
+                let channel = hb_chan(&pipeline);
+                let interval = health.heartbeat_interval;
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("hb-{device}"))
+                        .spawn(move || {
+                            let mut last: Option<Instant> = None; // beat immediately
+                            while !shared_hb.stop.load(Ordering::SeqCst) {
+                                if last.is_none_or(|l| l.elapsed() >= interval) {
+                                    last = Some(Instant::now());
+                                    if !shared_hb.muted_heartbeats.lock().contains(&device) {
+                                        let _ = shared_hb.router.send_from(
+                                            &device,
+                                            WireMessage {
+                                                kind: MessageKind::Control,
+                                                channel: channel.clone(),
+                                                reply_to: String::new(),
+                                                corr_id: 0,
+                                                seq: 0,
+                                                timestamp_ns: shared_hb.now_ns(),
+                                                epoch: 0,
+                                                payload: bytes::Bytes::copy_from_slice(
+                                                    device.as_bytes(),
+                                                ),
+                                            },
+                                        );
+                                    }
+                                }
+                                std::thread::sleep(interval.min(POLL));
+                            }
+                        })
+                        .expect("spawn heartbeat sender"),
+                );
+            }
+            let shared_mon = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hb-monitor-{pipeline}"))
+                    .spawn(move || {
+                        let mut confirmed: HashSet<String> = HashSet::new();
+                        while !shared_mon.stop.load(Ordering::SeqCst) {
+                            if let Ok(msg) = hb_inbox.recv_timeout(POLL) {
+                                if msg.kind == MessageKind::Control {
+                                    if let Ok(device) = std::str::from_utf8(&msg.payload) {
+                                        if let Some(d) = shared_mon.detector.lock().as_mut() {
+                                            d.record_heartbeat(device, shared_mon.now_ns());
+                                        }
+                                    }
+                                }
+                            }
+                            let now_ns = shared_mon.now_ns();
+                            let dead = match shared_mon.detector.lock().as_ref() {
+                                Some(d) => d.dead_devices(now_ns),
+                                None => Vec::new(),
+                            };
+                            for device in dead {
+                                if confirmed.insert(device.clone()) {
+                                    let epoch =
+                                        shared_mon.fence_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                                    shared_mon.logs.lock().push(format!(
+                                        "monitor: device {device} confirmed dead; fencing epoch {epoch}"
+                                    ));
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn heartbeat monitor"),
+            );
+        }
 
         // TCP ingress pumps: forward arriving wire messages to the local
         // in-process channel named by `msg.channel`.
@@ -753,6 +888,7 @@ impl LocalRuntime {
                 wiring: Arc::clone(&wiring),
                 pipeline: pipeline.clone(),
                 header: Header::default(),
+                epoch: 0,
                 corr: 0,
                 reply_rx,
                 lkg: HashMap::new(),
@@ -852,6 +988,39 @@ impl LocalRuntime {
         self.shared.stores.get(device).map(|s| s.stats())
     }
 
+    /// The failure detector's current view of `device` (`None` when
+    /// heartbeats are disabled).
+    pub fn device_status(&self, device: &str) -> Option<DeviceStatus> {
+        let now_ns = self.shared.now_ns();
+        self.shared
+            .detector
+            .lock()
+            .as_ref()
+            .map(|d| d.status(device, now_ns))
+    }
+
+    /// The current fence epoch (0 until a device loss is confirmed).
+    pub fn fence_epoch(&self) -> u64 {
+        self.shared.fence_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Chaos hook: silences `device`'s heartbeat sender, as if the device
+    /// dropped off the network. The failure detector will walk it through
+    /// suspicion to confirmed loss. Returns whether the device was newly
+    /// muted.
+    pub fn inject_heartbeat_loss(&self, device: &str) -> bool {
+        self.shared
+            .muted_heartbeats
+            .lock()
+            .insert(device.to_string())
+    }
+
+    /// The latest checkpoint taken for `module`, if any (diagnostics and
+    /// tests).
+    pub fn checkpoint(&self, module: &str) -> Option<Vec<u8>> {
+        self.shared.checkpoints.lock().get(module).cloned()
+    }
+
     /// Chaos hook: severs every cross-device TCP connection mid-stream, as
     /// if the Wi-Fi link blipped (`Tcp` transport only; a no-op in `Inproc`
     /// mode). Senders carry a reconnect policy, so traffic buffers and
@@ -897,12 +1066,21 @@ impl LocalRuntime {
             .iter()
             .map(|(name, b)| (name.clone(), b.snapshot()))
             .collect();
+        let device_statuses = self
+            .shared
+            .detector
+            .lock()
+            .as_ref()
+            .map(|d| d.statuses(run_duration_ns))
+            .unwrap_or_default();
         RunReport {
             metrics,
             logs: std::mem::take(&mut *self.shared.logs.lock()),
             errors: std::mem::take(&mut *self.shared.errors.lock()),
             restarts: self.shared.restarts.load(Ordering::Relaxed),
             breakers,
+            device_statuses,
+            fence_epoch: self.shared.fence_epoch.load(Ordering::SeqCst),
         }
     }
 }
@@ -1150,11 +1328,24 @@ fn module_loop(
     wiring: Arc<ModuleWiring>,
     factory: ModuleFactory,
 ) {
+    let checkpoint_period = shared.config.checkpoint_period;
+    let mut last_checkpoint = Instant::now();
     while !shared.stop.load(Ordering::SeqCst) {
+        // Periodic checkpoint: persist the instance's recoverable state so
+        // a restarted replacement resumes near where this one died.
+        if let Some(period) = checkpoint_period {
+            if last_checkpoint.elapsed() >= period {
+                last_checkpoint = Instant::now();
+                if let Some(snap) = instance.snapshot() {
+                    shared.checkpoints.lock().insert(wiring.name.clone(), snap);
+                }
+            }
+        }
         let msg = match inbox.recv_timeout(POLL) {
             Ok(m) => m,
             Err(_) => continue,
         };
+        ctx.epoch = msg.epoch;
         let event = match msg.kind {
             MessageKind::Signal if wiring.is_source => {
                 ctx.set_header(Header {
@@ -1205,6 +1396,11 @@ fn module_loop(
                 // the error path below.
                 instance = factory();
                 let _ = catch_unwind(AssertUnwindSafe(|| instance.init(&mut ctx)));
+                // Checkpointed restart: hand the replacement the latest
+                // snapshot so stateful modules resume rather than reset.
+                if let Some(snap) = shared.checkpoints.lock().get(&wiring.name).cloned() {
+                    instance.restore(&snap);
+                }
                 shared.restarts.fetch_add(1, Ordering::Relaxed);
                 Err(PipelineError::Module {
                     module: wiring.name.clone(),
@@ -1245,6 +1441,7 @@ fn module_loop(
                         corr_id: 0,
                         seq: ctx.header.frame_seq,
                         timestamp_ns: ctx.header.capture_ts_ns,
+                        epoch: ctx.epoch,
                         payload: bytes::Bytes::new(),
                     },
                 );
@@ -1266,9 +1463,20 @@ fn pacer_loop(
     let interval = Duration::from_nanos(pacer.interval_ns());
     let epoch = Instant::now();
     let lease = config.resilience.credit_timeout;
-    // Outstanding admissions by frame seq, for credit-lease expiry (only
-    // tracked when a lease is configured).
+    // Outstanding admissions are tracked by frame seq for credit-lease
+    // expiry and for epoch fencing (either feature needs the set).
+    let track_outstanding = lease.is_some() || config.heartbeats.is_some();
     let mut outstanding: HashMap<u64, Instant> = HashMap::new();
+    // Fence epoch this pacer is admitting under. A bump (confirmed device
+    // loss) fences everything in flight: those frames may be lost, half
+    // delivered, or redelivered — their credits come back here and any
+    // late signal they still produce is ignored.
+    let mut current_epoch = shared.fence_epoch.load(Ordering::SeqCst);
+    // Recently delivered frame seqs, for redelivery dedup (at-least-once
+    // delivery must not double-count).
+    let dedup_window = config.dedup_window;
+    let mut dedup_order: VecDeque<u64> = VecDeque::with_capacity(dedup_window);
+    let mut dedup_set: HashSet<u64> = HashSet::with_capacity(dedup_window);
     // Align pacer ticks to wall time.
     let mut next_tick = epoch;
     'run: while !shared.stop.load(Ordering::SeqCst) {
@@ -1278,16 +1486,53 @@ fn pacer_loop(
             if now >= next_tick {
                 break;
             }
+            // Epoch bump: proactively fault every outstanding admission so
+            // the source regains its credits immediately instead of waiting
+            // out a lease on frames the dead device will never finish.
+            let fence = shared.fence_epoch.load(Ordering::SeqCst);
+            if fence != current_epoch {
+                current_epoch = fence;
+                let fenced = outstanding.len() as u64;
+                for _ in outstanding.drain() {
+                    controller.fault();
+                }
+                if fenced > 0 {
+                    shared.logs.lock().push(format!(
+                        "pacer: fenced {fenced} in-flight frame(s) at epoch {current_epoch}"
+                    ));
+                }
+            }
             let wait = (next_tick - now).min(POLL);
             if let Ok(msg) = fc_inbox.recv_timeout(wait) {
-                // In lease mode, only outstanding frames may return a
-                // credit: anything else is a late echo of an already
-                // expired lease, and honouring it would free a credit that
-                // belongs to a different frame.
-                let known = lease.is_none() || outstanding.remove(&msg.seq).is_some();
+                // Redelivered frame already counted: drop the signal whole —
+                // its credit was settled the first time around.
+                if dedup_window > 0
+                    && msg.kind == MessageKind::Signal
+                    && dedup_set.contains(&msg.seq)
+                {
+                    continue;
+                }
+                // When admissions are tracked, only outstanding frames may
+                // return a credit: anything else is a late echo of an
+                // already expired lease or a fenced epoch, and honouring it
+                // would free a credit that belongs to a different frame.
+                let known = !track_outstanding || outstanding.remove(&msg.seq).is_some();
+                // Signals from a dead epoch are fenced: the credit (if
+                // still held) is reclaimed through the fault path, and the
+                // delivery is NOT counted.
+                let fenced = msg.epoch != current_epoch;
                 match msg.kind {
-                    MessageKind::Signal if known => {
+                    MessageKind::Signal if known && !fenced => {
                         controller.complete();
+                        if dedup_window > 0 {
+                            if dedup_order.len() == dedup_window {
+                                if let Some(old) = dedup_order.pop_front() {
+                                    dedup_set.remove(&old);
+                                }
+                            }
+                            dedup_order.push_back(msg.seq);
+                            dedup_set.insert(msg.seq);
+                        }
                         let now_ns = shared.now_ns();
                         let latency = now_ns.saturating_sub(msg.timestamp_ns);
                         let mut metrics = shared.metrics.lock();
@@ -1295,6 +1540,7 @@ fn pacer_loop(
                         drop(metrics);
                         shared.deliveries.fetch_add(1, Ordering::Relaxed);
                     }
+                    MessageKind::Signal if known => controller.fault(),
                     // Error-path credit return: the frame died mid-pipeline.
                     MessageKind::Control if known => controller.fault(),
                     _ => {}
@@ -1335,7 +1581,7 @@ fn pacer_loop(
             }
         }
         if admitted {
-            if lease.is_some() {
+            if track_outstanding {
                 outstanding.insert(pacer.ticks(), Instant::now());
             }
             let t_ns = shared.now_ns();
@@ -1349,6 +1595,7 @@ fn pacer_loop(
                         corr_id: 0,
                         seq: pacer.ticks(),
                         timestamp_ns: t_ns,
+                        epoch: current_epoch,
                         payload: bytes::Bytes::new(),
                     },
                 );
@@ -2226,6 +2473,159 @@ mod tests {
         );
     }
 
+    #[test]
+    fn heartbeat_loss_is_detected_and_fences_the_epoch() {
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0)
+                .with_containers(1)
+                .with_service("doubler"),
+            DeviceSpec::new("desktop", 2.0),
+        ];
+        // All modules and the service live on the phone: the desktop only
+        // heartbeats, so losing it fences in-flight work without stalling
+        // the new epoch's traffic.
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "phone")
+            .assign("sink", "phone");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let config = RuntimeConfig {
+            fps: 200.0,
+            heartbeats: Some(HealthConfig {
+                heartbeat_interval: Duration::from_millis(20),
+                lease: Duration::from_millis(60),
+                suspicion_threshold: 1,
+                confirmation_threshold: 2,
+            }),
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while runtime.deliveries() < 5 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(runtime.device_status("desktop"), Some(DeviceStatus::Alive));
+        assert_eq!(runtime.fence_epoch(), 0);
+        assert!(runtime.inject_heartbeat_loss("desktop"));
+        while runtime.fence_epoch() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(runtime.device_status("desktop"), Some(DeviceStatus::Dead));
+        assert_eq!(runtime.device_status("phone"), Some(DeviceStatus::Alive));
+        // New-epoch frames keep flowing after the fence.
+        let before = runtime.deliveries();
+        while runtime.deliveries() < before + 5 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = runtime.finish();
+        assert_eq!(report.fence_epoch, 1);
+        assert!(
+            report
+                .device_statuses
+                .iter()
+                .any(|(d, s)| d == "desktop" && *s == DeviceStatus::Dead),
+            "{:?}",
+            report.device_statuses
+        );
+        assert!(
+            report.logs.iter().any(|l| l.contains("confirmed dead")),
+            "{:?}",
+            report.logs
+        );
+        assert!(
+            report.metrics.frames_delivered >= before + 5,
+            "post-fence deliveries stalled: {} vs {before}",
+            report.metrics.frames_delivered
+        );
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    /// Sink that tallies frames, checkpoints the tally, and panics once.
+    struct CheckpointedTally {
+        count: u64,
+        resumed_from: Option<u64>,
+        poisoned: Arc<AtomicBool>,
+    }
+    impl Module for CheckpointedTally {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(_) = event {
+                if let Some(n) = self.resumed_from.take() {
+                    ctx.log(&format!("resumed from {n}"));
+                }
+                self.count += 1;
+                if self.count == 5 && !self.poisoned.swap(true, Ordering::SeqCst) {
+                    panic!("tally poisoned at 5");
+                }
+                ctx.log(&format!("tally {}", self.count));
+                ctx.signal_source()?;
+            }
+            Ok(())
+        }
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            Some(self.count.to_be_bytes().to_vec())
+        }
+        fn restore(&mut self, snapshot: &[u8]) {
+            if let Ok(bytes) = <[u8; 8]>::try_from(snapshot) {
+                self.count = u64::from_be_bytes(bytes);
+                self.resumed_from = Some(self.count);
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_module_resumes_from_its_checkpoint() {
+        let spec = PipelineSpec::new("ckpt")
+            .with_module(ModuleSpec::new("src", "TestSource").with_next("mid"))
+            .with_module(ModuleSpec::new("mid", "Tally"));
+        let devices = vec![DeviceSpec::new("one", 1.0)];
+        let placement = Placement::new().assign("src", "one").assign("mid", "one");
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let poisoned2 = Arc::clone(&poisoned);
+        modules.register("Tally", move || {
+            Box::new(CheckpointedTally {
+                count: 0,
+                resumed_from: None,
+                poisoned: Arc::clone(&poisoned2),
+            })
+        });
+        let services = ServiceRegistry::new();
+        let config = RuntimeConfig {
+            fps: 100.0,
+            checkpoint_period: Some(Duration::from_millis(20)),
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_until_deliveries(12, Duration::from_secs(10));
+        assert_eq!(report.restarts, 1, "{:?}", report.errors);
+        let resumed: u64 = report
+            .logs
+            .iter()
+            .find_map(|l| {
+                l.strip_prefix("mid: resumed from ")
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or_else(|| panic!("no resume log in {:?}", report.logs));
+        assert!(
+            resumed >= 1,
+            "restored checkpoint should carry progress, got {resumed}"
+        );
+        let max_tally: u64 = report
+            .logs
+            .iter()
+            .filter_map(|l| l.strip_prefix("mid: tally ").and_then(|n| n.parse().ok()))
+            .max()
+            .unwrap();
+        assert!(
+            max_tally > resumed,
+            "tally did not advance past the restored value {resumed}"
+        );
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
     /// Drives `service_executor_loop` directly against a preloaded queue.
     fn bare_shared(config: RuntimeConfig) -> (Arc<Shared>, InprocHub) {
         let hub = InprocHub::new();
@@ -2244,6 +2644,10 @@ mod tests {
             config,
             breakers: Mutex::new(HashMap::new()),
             restarts: AtomicU64::new(0),
+            fence_epoch: AtomicU64::new(0),
+            detector: Mutex::new(None),
+            checkpoints: Mutex::new(HashMap::new()),
+            muted_heartbeats: Mutex::new(HashSet::new()),
         });
         (shared, hub)
     }

@@ -145,6 +145,7 @@ impl TelemetrySnapshot {
             corr_id: 0,
             seq: self.frames_delivered,
             timestamp_ns: self.at_ns,
+            epoch: 0,
             payload: bytes::Bytes::from(self.encode().into_bytes()),
         })
     }

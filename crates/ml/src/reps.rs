@@ -173,6 +173,44 @@ impl RepCounter {
         None
     }
 
+    /// The committed cluster state the machine is currently in.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Whether the current (incomplete) rep has left the initial state.
+    pub fn away_from_initial(&self) -> bool {
+        self.away_from_initial
+    }
+
+    /// Rebuilds a counter from previously-saved progress — the complement
+    /// of [`RepCounter::state`], [`RepCounter::away_from_initial`] and
+    /// [`RepCounter::reps`], used by checkpoint restore after a failover.
+    /// The transient debounce run is deliberately not part of the saved
+    /// state: losing up to `debounce − 1` frames of a pending transition
+    /// resumes the count *near* where it died, which is the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `state < 2`.
+    pub fn resume(
+        model: RepCounterModel,
+        state: usize,
+        away_from_initial: bool,
+        reps: u32,
+    ) -> Self {
+        assert!(state < 2, "cluster state must be 0 or 1");
+        RepCounter {
+            model,
+            debounce: DEBOUNCE_FRAMES,
+            state,
+            candidate: state,
+            candidate_run: 0,
+            reps,
+            away_from_initial,
+        }
+    }
+
     /// Resets the rep count and state machine (model is kept).
     pub fn reset(&mut self) {
         self.state = self.model.initial_cluster();
@@ -327,6 +365,38 @@ mod tests {
     #[should_panic(expected = "k = 2")]
     fn from_parts_rejects_wrong_k() {
         let _ = RepCounterModel::from_parts(vec![vec![0.0]], 0);
+    }
+
+    #[test]
+    fn resume_continues_mid_exercise_progress() {
+        let model = RepCounterModel::from_parts(vec![vec![0.0; 34], vec![1.0; 34]], 0);
+        let mut counter = RepCounter::new(model.clone());
+        for _ in 0..4 {
+            counter.push_cluster(1);
+        }
+        for _ in 0..4 {
+            counter.push_cluster(0);
+        }
+        // One rep done, and we are 4 frames into the next one (away).
+        for _ in 0..4 {
+            counter.push_cluster(1);
+        }
+        assert_eq!(counter.reps(), 1);
+        assert!(counter.away_from_initial());
+
+        let mut resumed = RepCounter::resume(
+            model,
+            counter.state(),
+            counter.away_from_initial(),
+            counter.reps(),
+        );
+        assert_eq!(resumed.reps(), 1);
+        // Completing the in-progress rep counts from the restored state.
+        let mut result = None;
+        for _ in 0..4 {
+            result = resumed.push_cluster(0);
+        }
+        assert_eq!(result, Some(2));
     }
 
     #[test]

@@ -326,6 +326,7 @@ mod tests {
                 corr_id: 999,
                 seq: 0,
                 timestamp_ns: 0,
+                epoch: 0,
                 payload: Bytes::from_static(b"stale"),
             })
             .unwrap();

@@ -59,6 +59,10 @@ pub struct WireMessage {
     pub seq: u64,
     /// Source frame capture timestamp (nanoseconds).
     pub timestamp_ns: u64,
+    /// Pipeline failover epoch the message belongs to. Each confirmed
+    /// device-loss failover bumps the epoch; receivers fence messages from
+    /// dead epochs so redelivered frames cannot double-count.
+    pub epoch: u64,
     /// Opaque payload bytes (the core crate defines the payload codec).
     pub payload: Bytes,
 }
@@ -73,6 +77,7 @@ impl WireMessage {
             corr_id: 0,
             seq,
             timestamp_ns,
+            epoch: 0,
             payload,
         }
     }
@@ -91,6 +96,7 @@ impl WireMessage {
             corr_id,
             seq: 0,
             timestamp_ns: 0,
+            epoch: 0,
             payload,
         }
     }
@@ -104,6 +110,7 @@ impl WireMessage {
             corr_id: request.corr_id,
             seq: request.seq,
             timestamp_ns: request.timestamp_ns,
+            epoch: request.epoch,
             payload,
         }
     }
@@ -117,15 +124,32 @@ impl WireMessage {
             corr_id: 0,
             seq,
             timestamp_ns: 0,
+            epoch: 0,
             payload: Bytes::new(),
         }
+    }
+
+    /// Returns the message stamped with a failover epoch.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Encoded size in bytes (exact).
     pub fn encoded_len(&self) -> usize {
         // kind(1) + channel(1+len) + reply_to(1+len) + corr(8) + seq(8)
-        // + ts(8) + payload(4+len)
-        1 + 1 + self.channel.len() + 1 + self.reply_to.len() + 8 + 8 + 8 + 4 + self.payload.len()
+        // + ts(8) + epoch(8) + payload(4+len)
+        1 + 1
+            + self.channel.len()
+            + 1
+            + self.reply_to.len()
+            + 8
+            + 8
+            + 8
+            + 8
+            + 4
+            + self.payload.len()
     }
 
     /// Encodes into a fresh buffer (no length prefix; see [`write_frame`]).
@@ -162,6 +186,7 @@ impl WireMessage {
         buf.put_u64(self.corr_id);
         buf.put_u64(self.seq);
         buf.put_u64(self.timestamp_ns);
+        buf.put_u64(self.epoch);
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
         Ok(())
@@ -224,10 +249,11 @@ impl WireMessage {
             .map_err(|_| NetError::BadFrame("reply_to not utf-8"))?
             .to_string();
         buf.advance(reply_len);
-        need(buf, 8 + 8 + 8 + 4)?;
+        need(buf, 8 + 8 + 8 + 8 + 4)?;
         let corr_id = buf.get_u64();
         let seq = buf.get_u64();
         let timestamp_ns = buf.get_u64();
+        let epoch = buf.get_u64();
         let payload_len = buf.get_u32() as usize;
         if payload_len > MAX_FRAME_LEN {
             return Err(NetError::FrameTooLarge { len: payload_len });
@@ -245,6 +271,7 @@ impl WireMessage {
             corr_id,
             seq,
             timestamp_ns,
+            epoch,
             payload,
         })
     }
@@ -302,6 +329,7 @@ mod tests {
             corr_id: 77,
             seq: 1234,
             timestamp_ns: 999_999_999,
+            epoch: 7,
             payload: Bytes::from_static(b"hello frame"),
         }
     }
@@ -335,6 +363,17 @@ mod tests {
         assert_eq!(resp.channel, "inbox");
         assert_eq!(resp.corr_id, 9);
         assert_eq!(WireMessage::signal("src", 3).kind, MessageKind::Signal);
+    }
+
+    #[test]
+    fn epoch_survives_roundtrip_and_replies() {
+        let msg = WireMessage::signal("src", 3).with_epoch(42);
+        assert_eq!(msg.epoch, 42);
+        let decoded = WireMessage::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(decoded.epoch, 42);
+        let req = WireMessage::request("svc", "inbox", 9, Bytes::new()).with_epoch(5);
+        let resp = WireMessage::response_to(&req, Bytes::new());
+        assert_eq!(resp.epoch, 5, "responses belong to the request's epoch");
     }
 
     #[test]

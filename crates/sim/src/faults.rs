@@ -50,12 +50,24 @@ impl LinkPartition {
     }
 }
 
+/// A scheduled permanent device crash: at `at` (virtual time) the device
+/// stops heartbeating, executing modules and serving requests, and never
+/// comes back within the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceCrash {
+    /// The device that dies.
+    pub device: String,
+    /// Virtual-time offset of the crash.
+    pub at: Duration,
+}
+
 /// A deterministic fault schedule for one scenario run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     seed: u64,
     spikes: Vec<LatencySpike>,
     partitions: Vec<LinkPartition>,
+    crashes: Vec<DeviceCrash>,
     service_failure_probability: f64,
 }
 
@@ -119,6 +131,38 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
         self.service_failure_probability = p;
         self
+    }
+
+    /// Schedules a permanent crash of `device` at virtual-time offset `at`.
+    /// The scenario's failover machinery (when enabled) detects the loss
+    /// via missed heartbeats and replans around it.
+    #[must_use]
+    pub fn with_device_crash(mut self, device: &str, at: Duration) -> Self {
+        self.crashes.push(DeviceCrash {
+            device: device.to_string(),
+            at,
+        });
+        self
+    }
+
+    /// All scheduled device crashes, in insertion order.
+    pub fn device_crashes(&self) -> &[DeviceCrash] {
+        &self.crashes
+    }
+
+    /// Whether `device` has crashed at or before `now`.
+    pub fn device_crashed(&self, device: &str, now: SimTime) -> bool {
+        self.crash_time(device).is_some_and(|at| now >= at)
+    }
+
+    /// The virtual time at which `device` crashes (the earliest, if it was
+    /// scheduled more than once), or `None` if it never does.
+    pub fn crash_time(&self, device: &str) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|c| c.device == device)
+            .map(|c| SimTime::ZERO + c.at)
+            .min()
     }
 
     /// Total extra one-way latency active at `now` (overlapping spikes add).
@@ -221,6 +265,22 @@ mod tests {
             plan.partition_until("phone", "tv", SimTime::from_ms(15)),
             None
         );
+    }
+
+    #[test]
+    fn device_crashes_are_permanent_and_queryable() {
+        let plan = FaultPlan::new(7)
+            .with_device_crash("desktop", Duration::from_secs(5))
+            .with_device_crash("desktop", Duration::from_secs(9));
+        assert!(!plan.device_crashed("desktop", SimTime::from_ms(4_999)));
+        assert!(plan.device_crashed("desktop", SimTime::from_ms(5_000)));
+        // Permanent: still dead much later.
+        assert!(plan.device_crashed("desktop", SimTime::from_ms(60_000)));
+        // Earliest schedule wins; other devices unaffected.
+        assert_eq!(plan.crash_time("desktop"), Some(SimTime::from_ms(5_000)));
+        assert_eq!(plan.crash_time("phone"), None);
+        assert!(!plan.device_crashed("phone", SimTime::from_ms(60_000)));
+        assert_eq!(plan.device_crashes().len(), 2);
     }
 
     #[test]

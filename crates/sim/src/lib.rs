@@ -32,9 +32,9 @@ pub mod scenario;
 mod time;
 
 pub use engine::Engine;
-pub use faults::{FaultPlan, LatencySpike, LinkPartition};
+pub use faults::{DeviceCrash, FaultPlan, LatencySpike, LinkPartition};
 pub use net_model::{LinkModel, LinkStats};
 pub use pool::{PoolStats, ServicePool};
 pub use profiles::SimProfile;
-pub use scenario::{PipelineHandle, Scenario, ScenarioReport};
+pub use scenario::{FailoverConfig, FailoverEvent, PipelineHandle, Scenario, ScenarioReport};
 pub use time::SimTime;

@@ -24,14 +24,15 @@ use crate::profiles::SimProfile;
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
-use videopipe_core::deploy::DeploymentPlan;
+use videopipe_core::deploy::{replan_after_device_loss, CostParams, DeploymentPlan, Placement};
 use videopipe_core::flow::CreditController;
+use videopipe_core::health::{FailureDetector, HealthConfig};
 use videopipe_core::message::{Header, Message, Payload};
 use videopipe_core::metrics::PipelineMetrics;
-use videopipe_core::module::{Event, Module, ModuleCtx, ModuleRegistry};
+use videopipe_core::module::{Event, Module, ModuleCtx, ModuleFactory, ModuleRegistry};
 use videopipe_core::service::{ServiceRegistry, ServiceRequest, ServiceResponse};
 use videopipe_core::PipelineError;
 use videopipe_media::{codec, FrameStore};
@@ -64,6 +65,69 @@ pub struct LinkReport {
     pub stats: LinkStats,
 }
 
+/// Tuning knobs for the scenario's self-healing failover machinery.
+/// See [`Scenario::enable_failover`].
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Heartbeat cadence, lease and suspicion/confirmation thresholds fed
+    /// to the shared [`FailureDetector`] (over virtual time).
+    pub health: HealthConfig,
+    /// How often stateful modules are asked for a [`Module::snapshot`].
+    pub checkpoint_period: Duration,
+    /// Size of the per-pipeline delivered-sequence window used to suppress
+    /// duplicate completions after a failover (0 disables dedup).
+    pub dedup_window: usize,
+    /// Cost model used when replanning around a dead device.
+    pub cost_params: CostParams,
+    /// Affinity pins honoured by the replanner (a pinned module whose pin
+    /// survives stays put; pins on the dead device are dropped).
+    pub pins: Placement,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            health: HealthConfig::default(),
+            checkpoint_period: Duration::from_millis(500),
+            dedup_window: 128,
+            cost_params: CostParams::default(),
+            pins: Placement::new(),
+        }
+    }
+}
+
+/// The recovery timeline of one confirmed device loss, per pipeline.
+/// All instants are virtual-time offsets from the start of the run.
+#[derive(Debug, Clone)]
+pub struct FailoverEvent {
+    /// The device that died.
+    pub device: String,
+    /// The pipeline that failed over.
+    pub pipeline: String,
+    /// When the device actually crashed (from the fault plan).
+    pub crashed_at: Duration,
+    /// When the detector confirmed the loss and the epoch was fenced.
+    pub detected_at: Duration,
+    /// When the replacement plan was computed and modules respawned.
+    pub replanned_at: Duration,
+    /// First end-to-end delivery in the new epoch, if any arrived before
+    /// the run ended.
+    pub first_delivery_at: Option<Duration>,
+}
+
+impl FailoverEvent {
+    /// Crash → confirmation latency.
+    pub fn detection_latency(&self) -> Duration {
+        self.detected_at.saturating_sub(self.crashed_at)
+    }
+
+    /// Mean time to recovery: crash → first delivery in the new epoch.
+    pub fn mttr(&self) -> Option<Duration> {
+        self.first_delivery_at
+            .map(|d| d.saturating_sub(self.crashed_at))
+    }
+}
+
 /// The outcome of a scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -77,6 +141,9 @@ pub struct ScenarioReport {
     pub errors: Vec<String>,
     /// Module log lines.
     pub logs: Vec<String>,
+    /// Recovery timelines, one per (dead device, affected pipeline), in
+    /// confirmation order. Empty unless failover was enabled and fired.
+    pub failovers: Vec<FailoverEvent>,
     /// Virtual duration of the run.
     pub duration: Duration,
 }
@@ -127,6 +194,8 @@ struct SimModule {
     resident_modules: usize,
     wiring: Arc<SimWiring>,
     instance: Option<Box<dyn Module>>,
+    /// Kept so failover can re-instantiate the module on a new host.
+    factory: ModuleFactory,
     busy_until: SimTime,
     is_source: bool,
 }
@@ -143,6 +212,16 @@ struct SimPipeline {
     metrics: PipelineMetrics,
     admitted: u64,
     next_seq: u64,
+    /// Current deployment; replaced on failover.
+    plan: DeploymentPlan,
+    /// Bumped on every failover; events stamped with an older epoch are
+    /// fenced (their credits were reclaimed when the epoch advanced).
+    epoch: u64,
+    /// Last snapshot per stateful module, applied on respawn.
+    checkpoints: HashMap<String, Vec<u8>>,
+    /// Sliding window of delivered frame sequences (dedup after failover).
+    dedup: VecDeque<u64>,
+    dedup_set: HashSet<u64>,
 }
 
 /// The context handed to module handlers inside the simulator.
@@ -157,6 +236,8 @@ struct SimCtx {
     outputs: Vec<RecordedOutput>,
     signalled: bool,
     logs: Vec<String>,
+    /// Devices that have crashed by now: service calls bound to them fail.
+    crashed: Vec<String>,
 }
 
 impl SimCtx {
@@ -188,6 +269,14 @@ impl ModuleCtx for SimCtx {
                 service: service.to_string(),
             }
         })?;
+        if self.crashed.iter().any(|d| d == &device) {
+            // The bound host is down; the error path returns the frame's
+            // credit, and failover (when enabled) will rebind the service.
+            return Err(PipelineError::Service {
+                service: service.to_string(),
+                reason: format!("host {device:?} is down"),
+            });
+        }
         let image = self
             .services
             .get(service)
@@ -283,6 +372,8 @@ enum Ev {
         m: usize,
         event_header: Header,
         payload: Option<Payload>, // None = FrameTick
+        /// Pipeline epoch at scheduling time; stale epochs are fenced.
+        epoch: u64,
     },
     Signal {
         p: usize,
@@ -290,6 +381,8 @@ enum Ev {
         /// Whether this is a real completion (counted as a delivery) or an
         /// error-path credit return (not counted).
         delivered: bool,
+        /// Pipeline epoch at scheduling time; stale epochs are fenced.
+        epoch: u64,
     },
     AutoscaleCheck {
         service: String,
@@ -297,6 +390,19 @@ enum Ev {
         interval: Duration,
         max_instances: usize,
     },
+    /// Periodic heartbeat/liveness sweep (failover enabled only).
+    HealthCheck,
+    /// Periodic module checkpoint sweep (failover enabled only).
+    CheckpointTick,
+}
+
+/// Live failover state: the detector, which losses have already been acted
+/// on, and the recovery timelines gathered so far.
+struct FailoverState {
+    cfg: FailoverConfig,
+    detector: FailureDetector,
+    confirmed: HashSet<String>,
+    events: Vec<FailoverEvent>,
 }
 
 /// A multi-pipeline simulation over shared devices, links and pools.
@@ -316,6 +422,9 @@ pub struct Scenario {
     autoscale_snapshots: HashMap<(String, String), PoolStats>,
     /// Optional deterministic fault schedule.
     faults: Option<FaultPlan>,
+    /// Self-healing machinery, present once [`Scenario::enable_failover`]
+    /// ran.
+    failover: Option<FailoverState>,
 }
 
 impl Scenario {
@@ -336,6 +445,7 @@ impl Scenario {
             logs: Vec::new(),
             autoscale_snapshots: HashMap::new(),
             faults: None,
+            failover: None,
         }
     }
 
@@ -345,6 +455,41 @@ impl Scenario {
     /// probabilistic failures.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
         self.faults = Some(plan);
+    }
+
+    /// Enables self-healing: every device heartbeats on the virtual clock,
+    /// a crashed device's silence is detected via [`FailureDetector`], the
+    /// pipeline epoch is fenced (in-flight credits of the dead epoch are
+    /// reclaimed), placement is recomputed over the survivors, orphaned
+    /// modules respawn from their last checkpoint, and admission resumes.
+    /// Recovery timelines land in [`ScenarioReport::failovers`].
+    pub fn enable_failover(&mut self, cfg: FailoverConfig) {
+        self.engine.schedule(
+            SimTime::ZERO + cfg.health.heartbeat_interval,
+            Ev::HealthCheck,
+        );
+        self.engine
+            .schedule(SimTime::ZERO + cfg.checkpoint_period, Ev::CheckpointTick);
+        let detector = FailureDetector::new(cfg.health.clone());
+        self.failover = Some(FailoverState {
+            cfg,
+            detector,
+            confirmed: HashSet::new(),
+            events: Vec::new(),
+        });
+    }
+
+    /// Devices that have crashed at or before `now`, per the fault plan.
+    fn crashed_devices(&self, now: SimTime) -> Vec<String> {
+        match &self.faults {
+            Some(plan) => plan
+                .device_crashes()
+                .iter()
+                .filter(|c| now >= SimTime::ZERO + c.at)
+                .map(|c| c.device.clone())
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// The shared frame store (the simulation's data plane).
@@ -439,6 +584,7 @@ impl Scenario {
                 bindings,
                 nexts,
             });
+            let factory = modules.factory(&m.include)?;
             let instance = modules.instantiate(&m.include)?;
             index.insert(m.name.clone(), sim_modules.len());
             let speed = plan
@@ -452,6 +598,7 @@ impl Scenario {
                 resident_modules: 0, // filled below
                 wiring,
                 instance: Some(instance),
+                factory,
                 busy_until: SimTime::ZERO,
                 is_source: sources.iter().any(|s| s.name == m.name),
             });
@@ -473,6 +620,7 @@ impl Scenario {
                 outputs: Vec::new(),
                 signalled: false,
                 logs: Vec::new(),
+                crashed: Vec::new(),
             };
             if let Some(instance) = sm.instance.as_mut() {
                 instance.init(&mut ctx)?;
@@ -493,6 +641,11 @@ impl Scenario {
             metrics: PipelineMetrics::new(),
             admitted: 0,
             next_seq: 0,
+            plan: plan.clone(),
+            epoch: 0,
+            checkpoints: HashMap::new(),
+            dedup: VecDeque::new(),
+            dedup_set: HashSet::new(),
         });
         self.engine.schedule(SimTime::ZERO, Ev::CameraReady { p });
         Ok(PipelineHandle(p))
@@ -564,6 +717,7 @@ impl Scenario {
         }
         pipeline.camera_ready = false;
         pipeline.admitted += 1;
+        let epoch = pipeline.epoch;
         let seq = pipeline.next_seq;
         pipeline.next_seq += 1;
         let header = Header {
@@ -588,6 +742,7 @@ impl Scenario {
                     m,
                     event_header: header,
                     payload: None,
+                    epoch,
                 },
             );
         }
@@ -599,8 +754,14 @@ impl Scenario {
         m: usize,
         event_header: Header,
         payload: Option<Payload>,
+        epoch: u64,
         now: SimTime,
     ) {
+        // Fencing: a frame scheduled before a failover belongs to a dead
+        // epoch; its credit was reclaimed when the epoch advanced.
+        if epoch != self.pipelines[p].epoch {
+            return;
+        }
         // Gather what we need before borrowing the module mutably.
         let (wiring, services, include, speed, resident, busy_until) = {
             let sm = &self.pipelines[p].modules[m];
@@ -613,6 +774,13 @@ impl Scenario {
                 sm.busy_until,
             )
         };
+        let crashed = self.crashed_devices(now);
+        if crashed.iter().any(|d| d == &wiring.device) {
+            // The hosting device is gone: the frame vanishes with it. The
+            // credit stays in flight until failover fences the epoch —
+            // with failover disabled the pipeline visibly stalls here.
+            return;
+        }
         let start = now.max(busy_until);
 
         let mut ctx = SimCtx {
@@ -626,6 +794,7 @@ impl Scenario {
             outputs: Vec::new(),
             signalled: false,
             logs: Vec::new(),
+            crashed,
         };
         let event = match payload {
             None => Event::FrameTick {
@@ -690,6 +859,7 @@ impl Scenario {
                     p,
                     header: event_header,
                     delivered: false,
+                    epoch,
                 },
             );
             return;
@@ -717,6 +887,7 @@ impl Scenario {
                     m: tm,
                     event_header: out.header,
                     payload: Some(out.payload),
+                    epoch,
                 },
             );
         }
@@ -735,9 +906,253 @@ impl Scenario {
                     p,
                     header: ctx.header,
                     delivered: true,
+                    epoch,
                 },
             );
         }
+    }
+
+    /// Heartbeat sweep on the virtual clock: every surviving device renews
+    /// its lease; crashed devices go silent and eventually cross the
+    /// confirmation threshold, which triggers failover.
+    fn handle_health_check(&mut self, now: SimTime) {
+        let crashed = self.crashed_devices(now);
+        let newly_dead = {
+            let Some(state) = &mut self.failover else {
+                return;
+            };
+            let now_ns = now.as_ns();
+            let devices: Vec<String> = self.device_speed.keys().cloned().collect();
+            for device in &devices {
+                state.detector.expect(device, now_ns);
+                if !crashed.iter().any(|d| d == device) {
+                    state.detector.record_heartbeat(device, now_ns);
+                }
+            }
+            let dead = state.detector.dead_devices(now_ns);
+            let newly: Vec<String> = dead
+                .into_iter()
+                .filter(|d| state.confirmed.insert(d.clone()))
+                .collect();
+            self.engine
+                .schedule(now + state.cfg.health.heartbeat_interval, Ev::HealthCheck);
+            newly
+        };
+        for device in newly_dead {
+            self.fail_over(&device, now);
+        }
+    }
+
+    /// Reacts to one confirmed device loss: for every pipeline touching the
+    /// device, fence the epoch, reclaim in-flight credits, replan over the
+    /// survivors, respawn orphans from checkpoints and resume admission.
+    fn fail_over(&mut self, device: &str, now: SimTime) {
+        let (cost_params, pins) = {
+            let state = self.failover.as_ref().expect("failover enabled");
+            (state.cfg.cost_params.clone(), state.cfg.pins.clone())
+        };
+        let crashed_at = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.crash_time(device))
+            .map(|t| t - SimTime::ZERO)
+            .unwrap_or(now - SimTime::ZERO);
+
+        for p in 0..self.pipelines.len() {
+            let uses = {
+                let pl = &self.pipelines[p];
+                pl.modules.iter().any(|sm| sm.wiring.device == device)
+                    || pl.plan.service_bindings.iter().any(|b| b.device == device)
+            };
+            if !uses {
+                continue;
+            }
+
+            // 1. Fence the epoch: frames of the old epoch are dead on
+            //    arrival from here on.
+            self.pipelines[p].epoch += 1;
+            let epoch = self.pipelines[p].epoch;
+            let name = self.pipelines[p].name.clone();
+            self.logs.push(format!(
+                "failover: device {device:?} confirmed dead; pipeline {name:?} fencing epoch {epoch}"
+            ));
+
+            // 2. Reclaim credits held by frames that died with the device.
+            let stuck = self.pipelines[p].controller.in_flight();
+            for _ in 0..stuck {
+                self.pipelines[p].controller.fault();
+            }
+            if stuck > 0 {
+                self.logs
+                    .push(format!("failover: reclaimed {stuck} in-flight credit(s)"));
+            }
+
+            // 3. Replan around the loss and respawn orphaned modules.
+            let replanned = match replan_after_device_loss(
+                &self.pipelines[p].plan,
+                device,
+                &cost_params,
+                &pins,
+            ) {
+                Ok(new_plan) => {
+                    self.apply_replan(p, new_plan, now);
+                    true
+                }
+                Err(e) => {
+                    self.errors.push(format!("{name}/failover: {e}"));
+                    false
+                }
+            };
+
+            if let Some(state) = &mut self.failover {
+                state.events.push(FailoverEvent {
+                    device: device.to_string(),
+                    pipeline: name,
+                    crashed_at,
+                    detected_at: now - SimTime::ZERO,
+                    replanned_at: now - SimTime::ZERO,
+                    first_delivery_at: None,
+                });
+            }
+
+            // 4. Resume admission (the reclaimed credits allow it again).
+            if replanned {
+                self.try_admit(p, now);
+            }
+        }
+    }
+
+    /// Installs `new_plan` on pipeline `p`: rebuilds every module's wiring
+    /// (service hosts may have moved even for survivors) and re-instantiates
+    /// modules whose device changed, restoring their last checkpoint.
+    fn apply_replan(&mut self, p: usize, new_plan: DeploymentPlan, now: SimTime) {
+        // Pools for any binding the new plan introduced.
+        for b in &new_plan.service_bindings {
+            let key = (b.device.clone(), b.service.clone());
+            let instances = self.profile.instances_for(&b.service);
+            self.pools
+                .entry(key)
+                .or_insert_with(|| ServicePool::new(&b.device, &b.service, instances));
+        }
+
+        let module_count = self.pipelines[p].modules.len();
+        for m in 0..module_count {
+            let (name, old_device) = {
+                let sm = &self.pipelines[p].modules[m];
+                (sm.wiring.name.clone(), sm.wiring.device.clone())
+            };
+            let new_device = new_plan
+                .placement
+                .device_for(&name)
+                .unwrap_or(&old_device)
+                .to_string();
+            let mut bindings = HashMap::new();
+            for b in new_plan
+                .service_bindings
+                .iter()
+                .filter(|b| b.module == name)
+            {
+                bindings.insert(b.service.clone(), (b.device.clone(), b.remote));
+            }
+            let mut nexts = HashMap::new();
+            for e in new_plan.edges.iter().filter(|e| e.from == name) {
+                nexts.insert(e.to.clone(), (e.to_device.clone(), e.cross_device));
+            }
+            let wiring = Arc::new(SimWiring {
+                name: name.clone(),
+                device: new_device.clone(),
+                bindings,
+                nexts,
+            });
+            let speed = new_plan
+                .device(&new_device)
+                .map(|d| d.speed_factor)
+                .unwrap_or(1.0)
+                .max(1e-6);
+
+            let moved = new_device != old_device;
+            if moved {
+                *self.resident_count.entry(old_device.clone()).or_insert(1) -= 1;
+                *self.resident_count.entry(new_device.clone()).or_insert(0) += 1;
+                self.logs.push(format!(
+                    "failover: module {name:?} moved {old_device:?} -> {new_device:?}"
+                ));
+                // The old instance died with its device; rebuild and
+                // restore from the last checkpoint, if one exists.
+                let mut instance = (self.pipelines[p].modules[m].factory)();
+                let mut ctx = SimCtx {
+                    wiring: Arc::clone(&wiring),
+                    services: Arc::clone(&self.pipelines[p].services),
+                    store: Arc::clone(&self.store),
+                    profile: Arc::clone(&self.profile),
+                    header: Header::default(),
+                    now_ns: now.as_ns(),
+                    calls: Vec::new(),
+                    outputs: Vec::new(),
+                    signalled: false,
+                    logs: Vec::new(),
+                    crashed: self.crashed_devices(now),
+                };
+                if let Err(e) = instance.init(&mut ctx) {
+                    self.errors
+                        .push(format!("{}/{name}: {e}", self.pipelines[p].name));
+                }
+                self.logs.append(&mut ctx.logs);
+                if let Some(snap) = self.pipelines[p].checkpoints.get(&name).cloned() {
+                    instance.restore(&snap);
+                    self.logs.push(format!(
+                        "failover: module {name:?} restored from checkpoint"
+                    ));
+                }
+                let sm = &mut self.pipelines[p].modules[m];
+                sm.instance = Some(instance);
+                sm.busy_until = now;
+            }
+
+            let sm = &mut self.pipelines[p].modules[m];
+            sm.wiring = wiring;
+            sm.device_speed = speed;
+        }
+
+        for m in 0..module_count {
+            let device = self.pipelines[p].modules[m].wiring.device.clone();
+            self.pipelines[p].modules[m].resident_modules =
+                *self.resident_count.get(&device).unwrap_or(&1);
+        }
+
+        let sources = new_plan.pipeline.sources();
+        if let Some(device) = new_plan.placement.device_for(&sources[0].name) {
+            self.pipelines[p].source_device = device.to_string();
+        }
+        self.pipelines[p].plan = new_plan;
+    }
+
+    /// Checkpoint sweep: every module on a surviving device is asked for a
+    /// snapshot; stateless modules return `None` for free.
+    fn handle_checkpoint(&mut self, now: SimTime) {
+        let Some(state) = &self.failover else {
+            return;
+        };
+        let period = state.cfg.checkpoint_period;
+        let crashed = self.crashed_devices(now);
+        for pl in &mut self.pipelines {
+            let snaps: Vec<(String, Vec<u8>)> = pl
+                .modules
+                .iter()
+                // A dead device cannot checkpoint.
+                .filter(|sm| !crashed.iter().any(|d| d == &sm.wiring.device))
+                .filter_map(|sm| {
+                    sm.instance
+                        .as_ref()
+                        .and_then(|i| i.snapshot())
+                        .map(|snap| (sm.wiring.name.clone(), snap))
+                })
+                .collect();
+            for (name, snap) in snaps {
+                pl.checkpoints.insert(name, snap);
+            }
+        }
+        self.engine.schedule(now + period, Ev::CheckpointTick);
     }
 
     fn handle_autoscale(
@@ -802,18 +1217,51 @@ impl Scenario {
                     m,
                     event_header,
                     payload,
-                } => self.handle_deliver(p, m, event_header, payload, now),
+                    epoch,
+                } => self.handle_deliver(p, m, event_header, payload, epoch, now),
                 Ev::Signal {
                     p,
                     header,
                     delivered,
+                    epoch,
                 } => {
-                    if delivered {
-                        self.pipelines[p].controller.complete();
-                        let latency = now.as_ns().saturating_sub(header.capture_ts_ns);
-                        self.pipelines[p]
-                            .metrics
-                            .record_delivery(now.as_ns(), latency);
+                    if epoch != self.pipelines[p].epoch {
+                        // Fenced: the frame belongs to a dead epoch and its
+                        // credit was already reclaimed at fence time, so
+                        // neither complete nor fault — just ignore it.
+                    } else if delivered {
+                        let dedup_window = self
+                            .failover
+                            .as_ref()
+                            .map_or(0, |state| state.cfg.dedup_window);
+                        let pl = &mut self.pipelines[p];
+                        if dedup_window > 0 && pl.dedup_set.contains(&header.frame_seq) {
+                            // Redelivered frame: at-least-once upstream,
+                            // exactly-once at the sink.
+                        } else {
+                            if dedup_window > 0 {
+                                pl.dedup.push_back(header.frame_seq);
+                                pl.dedup_set.insert(header.frame_seq);
+                                while pl.dedup.len() > dedup_window {
+                                    if let Some(old) = pl.dedup.pop_front() {
+                                        pl.dedup_set.remove(&old);
+                                    }
+                                }
+                            }
+                            pl.controller.complete();
+                            let latency = now.as_ns().saturating_sub(header.capture_ts_ns);
+                            pl.metrics.record_delivery(now.as_ns(), latency);
+                            let name = pl.name.clone();
+                            if let Some(state) = &mut self.failover {
+                                // First delivery of the new epoch closes the
+                                // pipeline's open recovery timeline(s).
+                                for ev in &mut state.events {
+                                    if ev.pipeline == name && ev.first_delivery_at.is_none() {
+                                        ev.first_delivery_at = Some(now - SimTime::ZERO);
+                                    }
+                                }
+                            }
+                        }
                     } else {
                         // Error-path credit return (§2.3): the frame died,
                         // so reclaim its credit without counting a delivery.
@@ -827,6 +1275,8 @@ impl Scenario {
                     interval,
                     max_instances,
                 } => self.handle_autoscale(service, target_wait, interval, max_instances, now),
+                Ev::HealthCheck => self.handle_health_check(now),
+                Ev::CheckpointTick => self.handle_checkpoint(now),
             }
         }
 
@@ -870,6 +1320,7 @@ impl Scenario {
             links,
             errors: self.errors,
             logs: self.logs,
+            failovers: self.failover.map(|state| state.events).unwrap_or_default(),
             duration,
         }
     }
@@ -1261,6 +1712,144 @@ mod tests {
         assert_eq!(m.frames_delivered, m2.frames_delivered);
         assert_eq!(m.frames_faulted, m2.frames_faulted);
         assert_eq!(errors, errors2);
+    }
+
+    /// A stateful pass-through module: counts frames, checkpoints the
+    /// count, and logs once when it resumes from a restored snapshot.
+    struct Tally {
+        count: u64,
+        restored: Option<u64>,
+    }
+    impl Module for Tally {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(msg) = event {
+                if let Some(from) = self.restored.take() {
+                    ctx.log(&format!("resumed from {from}"));
+                }
+                self.count += 1;
+                ctx.call_module("sink", msg.payload)?;
+            }
+            Ok(())
+        }
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            Some(self.count.to_be_bytes().to_vec())
+        }
+        fn restore(&mut self, snapshot: &[u8]) {
+            if let Ok(bytes) = <[u8; 8]>::try_from(snapshot) {
+                self.count = u64::from_be_bytes(bytes);
+                self.restored = Some(self.count);
+            }
+        }
+    }
+
+    fn failover_fixture() -> (DeploymentPlan, ModuleRegistry, ServiceRegistry) {
+        let spec = PipelineSpec::new("p")
+            .with_module(ModuleSpec::new("src", "Src").with_next("work"))
+            .with_module(ModuleSpec::new("work", "Tally").with_next("sink"))
+            .with_module(ModuleSpec::new("sink", "Sink"));
+        let devices = vec![DeviceSpec::new("edge", 1.0), DeviceSpec::new("mid", 1.0)];
+        let placement = Placement::new()
+            .assign("src", "edge")
+            .assign("work", "mid")
+            .assign("sink", "edge");
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("Src", || Box::new(Src));
+        modules.register("Tally", || {
+            Box::new(Tally {
+                count: 0,
+                restored: None,
+            })
+        });
+        modules.register("Sink", || Box::new(Sink));
+        // Tally calls no services; Work is unused here.
+        (plan, modules, ServiceRegistry::new())
+    }
+
+    #[test]
+    fn device_crash_recovers_with_failover_and_stalls_without() {
+        let run = |failover: bool| {
+            let (plan, modules, services) = failover_fixture();
+            let mut scenario = Scenario::new(profile());
+            scenario
+                .inject_faults(FaultPlan::new(9).with_device_crash("mid", Duration::from_secs(2)));
+            if failover {
+                scenario.enable_failover(FailoverConfig::default());
+            }
+            let h = scenario
+                .add_pipeline(&plan, &modules, &services, 10.0, 1)
+                .unwrap();
+            let report = scenario.run(Duration::from_secs(6));
+            let m = report.metrics(h).clone();
+            (m, report)
+        };
+
+        let (stalled, _) = run(false);
+        // The in-flight frame died with the device and its credit is stuck,
+        // so admission freezes: nothing delivered past the crash.
+        assert!(stalled.in_flight_at_end > 0, "{stalled:?}");
+        assert!(
+            stalled.frames_delivered <= 21,
+            "stall expected: {} delivered",
+            stalled.frames_delivered
+        );
+
+        let (healed, report) = run(true);
+        assert!(healed.credits_balanced(), "{healed:?}");
+        assert!(
+            healed.frames_delivered > stalled.frames_delivered + 10,
+            "failover gained nothing: {} vs {}",
+            healed.frames_delivered,
+            stalled.frames_delivered
+        );
+        assert_eq!(report.failovers.len(), 1, "{:?}", report.failovers);
+        let ev = &report.failovers[0];
+        assert_eq!(ev.device, "mid");
+        assert_eq!(ev.crashed_at, Duration::from_secs(2));
+        assert!(ev.detected_at >= ev.crashed_at);
+        assert!(
+            ev.detection_latency() < Duration::from_secs(1),
+            "slow detection: {:?}",
+            ev.detection_latency()
+        );
+        let mttr = ev.mttr().expect("pipeline recovered");
+        assert!(mttr < Duration::from_secs(2), "mttr {mttr:?}");
+        // The tally moved, restored its checkpoint, and resumed counting.
+        assert!(report
+            .logs
+            .iter()
+            .any(|l| l.contains("moved \"mid\" -> \"edge\"")));
+        assert!(report
+            .logs
+            .iter()
+            .any(|l| l.contains("restored from checkpoint")));
+        assert!(
+            report.logs.iter().any(|l| l.contains("resumed from")),
+            "{:?}",
+            report.logs
+        );
+    }
+
+    #[test]
+    fn failover_is_deterministic_given_seed() {
+        let run = || {
+            let (plan, modules, services) = failover_fixture();
+            let mut scenario = Scenario::new(profile().with_seed(5));
+            scenario
+                .inject_faults(FaultPlan::new(5).with_device_crash("mid", Duration::from_secs(2)));
+            scenario.enable_failover(FailoverConfig::default());
+            let h = scenario
+                .add_pipeline(&plan, &modules, &services, 10.0, 1)
+                .unwrap();
+            let report = scenario.run(Duration::from_secs(6));
+            let m = report.metrics(h).clone();
+            (
+                m.frames_delivered,
+                m.frames_faulted,
+                report.failovers[0].mttr(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

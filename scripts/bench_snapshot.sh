@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Hot-path + dispatch-batching performance snapshot: runs the
-# bench_snapshot binary (release) and emits BENCH_PR3.json at the
+# Hot-path + dispatch-batching + self-healing performance snapshot: runs
+# the bench_snapshot binary (release) and emits BENCH_PR4.json at the
 # workspace root (codec kernels, encode-cache fan-out, inproc roundtrips,
-# executor draining, and the service-dispatch saturation sweep).
+# executor draining, the service-dispatch saturation sweep, and the
+# deterministic failover-MTTR cell).
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
 #   --quick    shrink iteration counts (CI smoke; numbers are noisier)
-#   --out PATH write the JSON somewhere else (default BENCH_PR3.json)
+#   --out PATH write the JSON somewhere else (default BENCH_PR4.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

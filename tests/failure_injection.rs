@@ -160,6 +160,7 @@ mod chaos_matrix {
         service: Arc<dyn Service>,
         transport: EdgeTransport,
         resilience: ResilienceConfig,
+        batch: BatchConfig,
     ) -> LocalRuntime {
         let spec = PipelineSpec::new("chaos")
             .with_module(ModuleSpec::new("src", "Src").with_next("mid"))
@@ -194,10 +195,18 @@ mod chaos_matrix {
                 fps: 200.0,
                 transport,
                 resilience,
+                batch,
                 ..RuntimeConfig::default()
             },
         )
         .unwrap()
+    }
+
+    /// Every cell runs with request-at-a-time dispatch and with adaptive
+    /// micro-batching, so the resilience mechanisms are exercised under
+    /// both drain policies.
+    fn batch_modes() -> [BatchConfig; 2] {
+        [BatchConfig::disabled(), BatchConfig::up_to(8)]
     }
 
     /// Backstop for every cell: even if a frame is lost outright, its
@@ -209,10 +218,151 @@ mod chaos_matrix {
     #[test]
     fn seeded_failures_with_retries_meet_delivery_slo() {
         for transport in [EdgeTransport::Inproc, EdgeTransport::Tcp] {
-            let chaos = Arc::new(ChaosService::probabilistic(Arc::new(Doubler), 7, 0.1));
+            for batch in batch_modes() {
+                let chaos = Arc::new(ChaosService::probabilistic(Arc::new(Doubler), 7, 0.1));
+                let runtime = deploy(
+                    chaos,
+                    transport,
+                    ResilienceConfig {
+                        retry: RetryPolicy::exponential(
+                            3,
+                            Duration::from_millis(1),
+                            Duration::from_millis(8),
+                        ),
+                        credit_timeout: lease(),
+                        ..ResilienceConfig::default()
+                    },
+                    batch,
+                );
+                let report = runtime.run_until_deliveries(100, Duration::from_secs(20));
+                assert!(
+                    report.metrics.frames_delivered >= 100,
+                    "[{transport:?}/{batch:?}] wedged: {} delivered, errors {:?}",
+                    report.metrics.frames_delivered,
+                    report.errors.iter().take(3).collect::<Vec<_>>()
+                );
+                assert!(
+                    report.metrics.delivery_ratio() >= 0.9,
+                    "[{transport:?}/{batch:?}] delivery ratio {:.3}",
+                    report.metrics.delivery_ratio()
+                );
+                assert!(
+                    report.metrics.credits_balanced(),
+                    "[{transport:?}/{batch:?}] credit leak: {:?}",
+                    report.metrics
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_opens_and_recovers_during_outage_burst() {
+        for batch in batch_modes() {
+            let chaos = Arc::new(ChaosService::outage(
+                Arc::new(Doubler),
+                Duration::from_millis(400),
+                Duration::from_millis(300),
+            ));
             let runtime = deploy(
                 chaos,
-                transport,
+                EdgeTransport::Tcp,
+                ResilienceConfig {
+                    breaker_failure_threshold: 3,
+                    breaker_cooldown: Duration::from_millis(50),
+                    degradation: DegradationPolicy::LastKnownGood,
+                    credit_timeout: lease(),
+                    ..ResilienceConfig::default()
+                },
+                batch,
+            );
+            let report = runtime.run_for(Duration::from_millis(1500));
+            let breaker = report
+                .breakers
+                .get("doubler")
+                .expect("breaker snapshot for doubler");
+            assert!(
+                breaker.opened >= 1,
+                "[{batch:?}] breaker never opened: {breaker:?}"
+            );
+            assert!(
+                breaker.reclosed >= 1,
+                "[{batch:?}] breaker never recovered half-open -> closed: {breaker:?}"
+            );
+            // A drained batch must not consume more than one half-open
+            // probe per cooldown window: probes are bounded by the number
+            // of windows the run can contain, not by batch size.
+            let windows = 1 + 1500 / 50;
+            assert!(
+                breaker.probes <= windows,
+                "[{batch:?}] batched dispatch burned probes: {breaker:?}"
+            );
+            // Last-known-good degradation keeps frames flowing through the
+            // outage, so the delivery SLO holds across the burst.
+            assert!(
+                report.metrics.delivery_ratio() >= 0.9,
+                "[{batch:?}] delivery ratio {:.3}: {:?}",
+                report.metrics.delivery_ratio(),
+                report.metrics
+            );
+            assert!(
+                report.metrics.credits_balanced(),
+                "[{batch:?}] credit leak: {:?}",
+                report.metrics
+            );
+        }
+    }
+
+    #[test]
+    fn injected_latency_trips_typed_deadlines_without_wedging() {
+        // Every 10th call sleeps past the 25 ms deadline; with no retries
+        // those frames die with a typed timeout and return their credit.
+        for batch in batch_modes() {
+            let chaos = Arc::new(ChaosService::delaying(
+                Arc::new(Doubler),
+                10,
+                Duration::from_millis(60),
+            ));
+            let runtime = deploy(
+                chaos,
+                EdgeTransport::Inproc,
+                ResilienceConfig {
+                    service_call_timeout: Duration::from_millis(25),
+                    credit_timeout: lease(),
+                    ..ResilienceConfig::default()
+                },
+                batch,
+            );
+            let report = runtime.run_until_deliveries(50, Duration::from_secs(20));
+            assert!(
+                report.metrics.frames_delivered >= 50,
+                "[{batch:?}] wedged: {} delivered",
+                report.metrics.frames_delivered
+            );
+            assert!(
+                report.errors.iter().any(|e| e.contains("timed out")),
+                "[{batch:?}] expected typed timeouts in {:?}",
+                report.errors.iter().take(3).collect::<Vec<_>>()
+            );
+            assert!(
+                report.metrics.delivery_ratio() >= 0.85,
+                "[{batch:?}] delivery ratio {:.3}",
+                report.metrics.delivery_ratio()
+            );
+            assert!(
+                report.metrics.credits_balanced(),
+                "[{batch:?}] credit leak: {:?}",
+                report.metrics
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_service_is_supervised_and_retried() {
+        for batch in batch_modes() {
+            let chaos = Arc::new(ChaosService::panicking(Arc::new(Doubler), 7));
+            let runtime = deploy(
+                chaos,
+                EdgeTransport::Inproc,
                 ResilienceConfig {
                     retry: RetryPolicy::exponential(
                         3,
@@ -222,158 +372,140 @@ mod chaos_matrix {
                     credit_timeout: lease(),
                     ..ResilienceConfig::default()
                 },
+                batch,
             );
-            let report = runtime.run_until_deliveries(100, Duration::from_secs(20));
+            let report = runtime.run_until_deliveries(60, Duration::from_secs(20));
             assert!(
-                report.metrics.frames_delivered >= 100,
-                "[{transport:?}] wedged: {} delivered, errors {:?}",
+                report.metrics.frames_delivered >= 60,
+                "[{batch:?}] wedged: {} delivered, errors {:?}",
                 report.metrics.frames_delivered,
                 report.errors.iter().take(3).collect::<Vec<_>>()
             );
             assert!(
                 report.metrics.delivery_ratio() >= 0.9,
-                "[{transport:?}] delivery ratio {:.3}",
+                "[{batch:?}] delivery ratio {:.3}",
                 report.metrics.delivery_ratio()
             );
             assert!(
                 report.metrics.credits_balanced(),
-                "[{transport:?}] credit leak: {:?}",
+                "[{batch:?}] credit leak: {:?}",
                 report.metrics
             );
         }
     }
 
     #[test]
-    fn breaker_opens_and_recovers_during_outage_burst() {
-        let chaos = Arc::new(ChaosService::outage(
-            Arc::new(Doubler),
-            Duration::from_millis(400),
-            Duration::from_millis(300),
-        ));
-        let runtime = deploy(
-            chaos,
-            EdgeTransport::Tcp,
-            ResilienceConfig {
-                breaker_failure_threshold: 3,
-                breaker_cooldown: Duration::from_millis(50),
-                degradation: DegradationPolicy::LastKnownGood,
-                credit_timeout: lease(),
-                ..ResilienceConfig::default()
-            },
-        );
-        let report = runtime.run_for(Duration::from_millis(1500));
-        let breaker = report
-            .breakers
-            .get("doubler")
-            .expect("breaker snapshot for doubler");
-        assert!(breaker.opened >= 1, "breaker never opened: {breaker:?}");
-        assert!(
-            breaker.reclosed >= 1,
-            "breaker never recovered half-open -> closed: {breaker:?}"
-        );
-        // Last-known-good degradation keeps frames flowing through the
-        // outage, so the delivery SLO holds across the burst.
-        assert!(
-            report.metrics.delivery_ratio() >= 0.9,
-            "delivery ratio {:.3}: {:?}",
-            report.metrics.delivery_ratio(),
-            report.metrics
-        );
-        assert!(
-            report.metrics.credits_balanced(),
-            "credit leak: {:?}",
-            report.metrics
-        );
-    }
-
-    #[test]
-    fn injected_latency_trips_typed_deadlines_without_wedging() {
-        // Every 10th call sleeps past the 25 ms deadline; with no retries
-        // those frames die with a typed timeout and return their credit.
-        let chaos = Arc::new(ChaosService::delaying(
-            Arc::new(Doubler),
-            10,
-            Duration::from_millis(60),
-        ));
-        let runtime = deploy(
-            chaos,
-            EdgeTransport::Inproc,
-            ResilienceConfig {
-                service_call_timeout: Duration::from_millis(25),
-                credit_timeout: lease(),
-                ..ResilienceConfig::default()
-            },
-        );
-        let report = runtime.run_until_deliveries(50, Duration::from_secs(20));
-        assert!(
-            report.metrics.frames_delivered >= 50,
-            "wedged: {} delivered",
-            report.metrics.frames_delivered
-        );
-        assert!(
-            report.errors.iter().any(|e| e.contains("timed out")),
-            "expected typed timeouts in {:?}",
-            report.errors.iter().take(3).collect::<Vec<_>>()
-        );
-        assert!(
-            report.metrics.delivery_ratio() >= 0.85,
-            "delivery ratio {:.3}",
-            report.metrics.delivery_ratio()
-        );
-        assert!(
-            report.metrics.credits_balanced(),
-            "credit leak: {:?}",
-            report.metrics
-        );
-    }
-
-    #[test]
-    fn panicking_service_is_supervised_and_retried() {
-        let chaos = Arc::new(ChaosService::panicking(Arc::new(Doubler), 7));
-        let runtime = deploy(
-            chaos,
-            EdgeTransport::Inproc,
-            ResilienceConfig {
-                retry: RetryPolicy::exponential(
-                    3,
-                    Duration::from_millis(1),
-                    Duration::from_millis(8),
-                ),
-                credit_timeout: lease(),
-                ..ResilienceConfig::default()
-            },
-        );
-        let report = runtime.run_until_deliveries(60, Duration::from_secs(20));
-        assert!(
-            report.metrics.frames_delivered >= 60,
-            "wedged: {} delivered, errors {:?}",
-            report.metrics.frames_delivered,
-            report.errors.iter().take(3).collect::<Vec<_>>()
-        );
-        assert!(
-            report.metrics.delivery_ratio() >= 0.9,
-            "delivery ratio {:.3}",
-            report.metrics.delivery_ratio()
-        );
-        assert!(
-            report.metrics.credits_balanced(),
-            "credit leak: {:?}",
-            report.metrics
-        );
-    }
-
-    #[test]
     fn tcp_disconnect_mid_stream_recovers_and_drains() {
-        let runtime = deploy(
-            Arc::new(Doubler),
-            EdgeTransport::Tcp,
-            ResilienceConfig {
-                credit_timeout: lease(),
-                ..ResilienceConfig::default()
+        for batch in batch_modes() {
+            let runtime = deploy(
+                Arc::new(Doubler),
+                EdgeTransport::Tcp,
+                ResilienceConfig {
+                    credit_timeout: lease(),
+                    ..ResilienceConfig::default()
+                },
+                batch,
+            );
+            // Let the stream establish, cut every TCP connection mid-flight,
+            // then require the pipeline to reach its target anyway.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let mut severed = 0;
+            while runtime.deliveries() < 150 && Instant::now() < deadline {
+                if severed == 0 && runtime.deliveries() >= 50 {
+                    severed = runtime.inject_tcp_disconnect();
+                    assert!(severed > 0, "tcp transport should have live peers");
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let report = runtime.finish();
+            assert!(severed > 0, "[{batch:?}] disconnect was never injected");
+            assert!(
+                report.metrics.frames_delivered >= 150,
+                "[{batch:?}] pipeline did not recover from the disconnect: {} delivered, errors {:?}",
+                report.metrics.frames_delivered,
+                report.errors.iter().take(3).collect::<Vec<_>>()
+            );
+            assert!(
+                report.metrics.delivery_ratio() >= 0.9,
+                "[{batch:?}] delivery ratio {:.3}",
+                report.metrics.delivery_ratio()
+            );
+            assert!(
+                report.metrics.credits_balanced(),
+                "[{batch:?}] credit leak: {:?}",
+                report.metrics
+            );
+        }
+    }
+
+    /// A sink that returns the flow-control credit TWICE per frame — the
+    /// shape of at-least-once redelivery after a partition heals and the
+    /// retry layer re-sends a frame that had in fact already arrived.
+    struct DupSink;
+    impl Module for DupSink {
+        fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+            if let Event::Message(_) = event {
+                ctx.signal_source()?;
+                ctx.signal_source()?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Partition-heal + retry must not double-count deliveries: with
+    /// outstanding-admission tracking off (no credit lease, no heartbeats),
+    /// the dedup window is the only thing between a duplicate completion
+    /// signal and a double-counted delivery, which pins its semantics.
+    #[test]
+    fn partition_heal_with_redelivery_does_not_double_count() {
+        let spec = PipelineSpec::new("chaos")
+            .with_module(ModuleSpec::new("src", "Src").with_next("mid"))
+            .with_module(
+                ModuleSpec::new("mid", "Mid")
+                    .with_service("doubler")
+                    .with_next("sink"),
+            )
+            .with_module(ModuleSpec::new("sink", "DupSink"));
+        let devices = vec![
+            DeviceSpec::new("phone", 1.0),
+            DeviceSpec::new("desktop", 1.0)
+                .with_containers(2)
+                .with_service("doubler"),
+        ];
+        let placement = Placement::new()
+            .assign("src", "phone")
+            .assign("mid", "desktop")
+            .assign("sink", "phone");
+        let plan = plan(&spec, &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("Src", || Box::new(Src));
+        modules.register("Mid", || Box::new(Mid));
+        modules.register("DupSink", || Box::new(DupSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(Doubler));
+        let runtime = LocalRuntime::deploy(
+            &plan,
+            &modules,
+            &services,
+            RuntimeConfig {
+                fps: 200.0,
+                credits: 4,
+                transport: EdgeTransport::Tcp,
+                resilience: ResilienceConfig {
+                    retry: RetryPolicy::exponential(
+                        3,
+                        Duration::from_millis(1),
+                        Duration::from_millis(8),
+                    ),
+                    ..ResilienceConfig::default()
+                },
+                dedup_window: 16,
+                ..RuntimeConfig::default()
             },
-        );
-        // Let the stream establish, cut every TCP connection mid-flight,
-        // then require the pipeline to reach its target anyway.
+        )
+        .unwrap();
+        // Sever every TCP connection mid-stream (the partition), then let
+        // the reconnect/retry layer heal it and drive the run to target.
         let deadline = Instant::now() + Duration::from_secs(30);
         let mut severed = 0;
         while runtime.deliveries() < 150 && Instant::now() < deadline {
@@ -384,17 +516,18 @@ mod chaos_matrix {
             std::thread::sleep(Duration::from_millis(2));
         }
         let report = runtime.finish();
-        assert!(severed > 0, "disconnect was never injected");
+        assert!(severed > 0, "partition was never injected");
         assert!(
             report.metrics.frames_delivered >= 150,
-            "pipeline did not recover from the disconnect: {} delivered, errors {:?}",
+            "did not heal: {} delivered, errors {:?}",
             report.metrics.frames_delivered,
             report.errors.iter().take(3).collect::<Vec<_>>()
         );
+        // Every frame signalled twice, yet each was counted at most once.
         assert!(
-            report.metrics.delivery_ratio() >= 0.9,
-            "delivery ratio {:.3}",
-            report.metrics.delivery_ratio()
+            report.metrics.frames_delivered <= report.metrics.frames_admitted,
+            "double-counted deliveries: {:?}",
+            report.metrics
         );
         assert!(
             report.metrics.credits_balanced(),
