@@ -1,15 +1,17 @@
 //! Hot-path performance snapshot, emitted as machine-readable JSON.
 //!
-//! Measures the surfaces the hot-path and micro-batching overhauls
-//! touched — codec kernels (word-wide vs the scalar reference oracle),
-//! per-(frame, quality) encode caching under fan-out, inproc transport
-//! roundtrips, multi-executor request draining, and the service-dispatch
-//! saturation sweep (offered load × batch setting) — plus the
-//! self-healing failover MTTR cell (a deterministic sim crashes a
-//! mid-pipeline device and the recovery timeline is reported in virtual
-//! time) — and writes the results to `BENCH_PR4.json` (override with
-//! `--out`). `--quick` shrinks iteration counts so the run doubles as a
-//! CI smoke test.
+//! Measures the surfaces the hot-path, micro-batching, and ML-kernel
+//! overhauls touched — codec kernels (word-wide vs the scalar reference
+//! oracle), the ML/vision kernels (fused word-wide pose scan, fused
+//! distance matrix, k-means assignment, batched k-NN — each against its
+//! scalar oracle), per-(frame, quality) encode caching under fan-out,
+//! inproc transport roundtrips, multi-executor request draining, and the
+//! service-dispatch saturation sweep (offered load × batch setting) —
+//! plus the self-healing failover MTTR cell (a deterministic sim crashes
+//! a mid-pipeline device and the recovery timeline is reported in
+//! virtual time) — and writes the results to `BENCH_PR5.json` (override
+//! with `--out`). `--quick` shrinks iteration counts so the run doubles
+//! as a CI smoke test.
 //!
 //! Run with `scripts/bench_snapshot.sh` or directly:
 //! `cargo run --release -p videopipe-bench --bin bench_snapshot -- --quick`
@@ -39,7 +41,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR4.json".to_string(),
+        out: "BENCH_PR5.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,21 +66,24 @@ fn parse_args() -> Args {
     args
 }
 
-/// Median-of-runs wall time for `iters` calls of `f`, in seconds.
+/// Median-of-3 wall time for `iters` calls of `f`, in seconds.
 fn time_iters(iters: usize, mut f: impl FnMut()) -> f64 {
-    // Warm-up, then take the best of three batches to shave scheduler noise.
+    // Warm-up, then take the median of three batches: one preempted batch
+    // cannot drag the number, and unlike best-of-3 the median does not
+    // systematically flatter the kernel on an idle machine.
     for _ in 0..iters.div_ceil(10) {
         f();
     }
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    let mut runs = [0.0f64; 3];
+    for run in &mut runs {
         let start = Instant::now();
         for _ in 0..iters {
             f();
         }
-        best = best.min(start.elapsed().as_secs_f64());
+        *run = start.elapsed().as_secs_f64();
     }
-    best
+    runs.sort_by(f64::total_cmp);
+    runs[1]
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -142,6 +147,178 @@ fn codec_section(quick: bool, out: &mut String) {
         improvement_pct(encode_scalar_mb_s, encode_word_mb_s),
         improvement_pct(decode_scalar_mb_s, decode_word_mb_s),
     );
+}
+
+/// Deterministic pseudo-random f32 vectors for the ML kernel cells, so the
+/// bench workload replays identically on every run and host.
+fn lcg_vecs(n: usize, dim: usize, seed: &mut u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    *seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((*seed >> 33) as f32 / (1u64 << 31) as f32) * 200.0 - 100.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// ML/vision kernels against their scalar oracles: the fused word-wide
+/// pose scan, the fused distance matrix, the blocked k-means assignment
+/// pass, and batched k-NN classification. Each cell is one JSON line so
+/// `scripts/check.sh` can gate it with the same awk extractor as the
+/// codec cells.
+fn ml_section(quick: bool, out: &mut String) {
+    use videopipe_ml::knn::KnnClassifier;
+    use videopipe_ml::math::{
+        distances_block_into, distances_into, distances_into_scalar, squared_distance_scalar,
+        PointBlock,
+    };
+    use videopipe_ml::PoseDetector;
+
+    let _ = writeln!(out, r#"  "ml": {{"#);
+
+    // Pose: the fused single-pass word scan vs the two-pass scalar oracle,
+    // on a rendered frame with a real figure (not an empty raster).
+    let renderer = SceneRenderer::new(320, 240);
+    let frame = renderer.render(
+        &videopipe_media::motion::ExerciseKind::Squat.pose_at_phase(0.25),
+        0,
+        0,
+    );
+    let detector = PoseDetector::new();
+    let iters = if quick { 60 } else { 400 };
+    let scalar_s = time_iters(iters, || {
+        std::hint::black_box(detector.detect_scalar(&frame));
+    });
+    let word_s = time_iters(iters, || {
+        std::hint::black_box(detector.detect(&frame));
+    });
+    let pose_scalar_fps = iters as f64 / scalar_s;
+    let pose_word_fps = iters as f64 / word_s;
+    let pose_speedup = scalar_s / word_s.max(1e-12);
+    println!(
+        "pose detect 320x240: scalar {pose_scalar_fps:.0} fps -> word {pose_word_fps:.0} fps \
+         ({pose_speedup:.2}x)"
+    );
+    let _ = writeln!(
+        out,
+        r#"    "pose": {{"scalar_fps": {pose_scalar_fps:.0}, "word_fps": {pose_word_fps:.0}, "speedup_x": {pose_speedup:.2}}},"#
+    );
+
+    // Fused distance matrix (cached point norms) vs the per-pair scalar
+    // oracle, at the window-feature shape the activity classifier uses.
+    let mut seed = 0x5EED_CAFE_u64;
+    let queries = lcg_vecs(64, 34, &mut seed);
+    let points = lcg_vecs(512, 34, &mut seed);
+    let iters = if quick { 20 } else { 120 };
+    let mut dists = Vec::new();
+    let scalar_s = time_iters(iters, || {
+        distances_into_scalar(&queries, &points, &mut dists);
+        std::hint::black_box(&dists);
+    });
+    let word_s = time_iters(iters, || {
+        distances_into(&queries, &points, &mut dists);
+        std::hint::black_box(&dists);
+    });
+    let cells = (queries.len() * points.len() * iters) as f64;
+    let dist_scalar_melems = cells / scalar_s / 1e6;
+    let dist_word_melems = cells / word_s / 1e6;
+    let dist_speedup = scalar_s / word_s.max(1e-12);
+    println!(
+        "distance matrix 64x512 dim 34: scalar {dist_scalar_melems:.1} Melem/s -> fused \
+         {dist_word_melems:.1} Melem/s ({dist_speedup:.2}x)"
+    );
+    let _ = writeln!(
+        out,
+        r#"    "distance": {{"scalar_melems_s": {dist_scalar_melems:.1}, "word_melems_s": {dist_word_melems:.1}, "speedup_x": {dist_speedup:.2}}},"#
+    );
+
+    // k-means assignment pass (the per-iteration hot loop), exactly as
+    // `KMeans::fit` runs it: the samples are frozen in a PointBlock once
+    // per fit (outside the timed pass, like the real amortisation), then
+    // each pass is one fused k × n matrix with the centroids as queries
+    // plus a column-wise running min.
+    let samples = lcg_vecs(2000, 16, &mut seed);
+    let centroids = lcg_vecs(8, 16, &mut seed);
+    let mut assignments = vec![0usize; samples.len()];
+    let scalar_s = time_iters(iters, || {
+        for (slot, sample) in assignments.iter_mut().zip(&samples) {
+            let mut best = f32::INFINITY;
+            let mut best_c = 0;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = squared_distance_scalar(sample, centroid);
+                if d < best {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            *slot = best_c;
+        }
+        std::hint::black_box(&assignments);
+    });
+    let block = PointBlock::new(&samples);
+    let mut best_dist = vec![0.0f32; samples.len()];
+    let word_s = time_iters(iters, || {
+        distances_block_into(&centroids, &block, &mut dists);
+        let (first_row, rest) = dists.split_at(samples.len());
+        best_dist.copy_from_slice(first_row);
+        assignments.fill(0);
+        for (c, row) in rest.chunks_exact(samples.len()).enumerate() {
+            for ((b, a), &d) in best_dist.iter_mut().zip(assignments.iter_mut()).zip(row) {
+                if d < *b {
+                    *b = d;
+                    *a = c + 1;
+                }
+            }
+        }
+        std::hint::black_box(&assignments);
+    });
+    let bytes = (samples.len() * 16 * 4 * iters) as f64;
+    let km_scalar_mb_s = bytes / scalar_s / 1e6;
+    let km_mb_s = bytes / word_s / 1e6;
+    let km_speedup = scalar_s / word_s.max(1e-12);
+    println!(
+        "k-means assign 2000x16 k=8: scalar {km_scalar_mb_s:.1} MB/s -> blocked {km_mb_s:.1} MB/s \
+         ({km_speedup:.2}x)"
+    );
+    let _ = writeln!(
+        out,
+        r#"    "kmeans_assign": {{"scalar_mb_s": {km_scalar_mb_s:.1}, "mb_s": {km_mb_s:.1}, "speedup_x": {km_speedup:.2}}},"#
+    );
+
+    // Batched k-NN classification (34-dim forces the brute-force path, the
+    // shape activity windows take) vs a per-query scalar scan.
+    let train = lcg_vecs(400, 34, &mut seed);
+    let labels: Vec<String> = (0..train.len()).map(|i| format!("c{}", i % 3)).collect();
+    let knn = KnnClassifier::fit(5, train, labels).expect("bench knn fit");
+    assert!(!knn.uses_kdtree(), "34-dim data must take the brute path");
+    let knn_queries = lcg_vecs(64, 34, &mut seed);
+    let iters = if quick { 10 } else { 60 };
+    let scalar_s = time_iters(iters, || {
+        for q in &knn_queries {
+            std::hint::black_box(knn.brute_force_scalar(q));
+        }
+    });
+    let batch_s = time_iters(iters, || {
+        std::hint::black_box(knn.predict_batch(&knn_queries).expect("bench knn batch"));
+    });
+    let total_queries = (knn_queries.len() * iters) as f64;
+    let knn_scalar_qs = total_queries / scalar_s;
+    let knn_batch_qs = total_queries / batch_s;
+    let knn_speedup = scalar_s / batch_s.max(1e-12);
+    println!(
+        "k-NN 400 samples dim 34 k=5: scalar {knn_scalar_qs:.0} queries/s -> batched \
+         {knn_batch_qs:.0} queries/s ({knn_speedup:.2}x)"
+    );
+    let _ = writeln!(
+        out,
+        r#"    "knn": {{"scalar_queries_s": {knn_scalar_qs:.0}, "batch_queries_s": {knn_batch_qs:.0}, "speedup_x": {knn_speedup:.2}}}"#
+    );
+    let _ = writeln!(out, r#"  }},"#);
 }
 
 /// Fan-out transcoding: N remote destinations with and without the store's
@@ -687,6 +864,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {},", args.quick);
     codec_section(args.quick, &mut json);
+    ml_section(args.quick, &mut json);
     fanout_section(args.quick, &mut json);
     roundtrip_section(args.quick, &mut json);
     executor_section(args.quick, &mut json);

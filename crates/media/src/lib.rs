@@ -47,6 +47,7 @@ mod error;
 mod frame;
 pub mod motion;
 mod pose;
+pub mod scan;
 pub mod scene;
 mod source;
 mod store;

@@ -139,3 +139,24 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The word-wide threshold scan visits exactly the pixels its scalar
+    /// oracle visits, in the same order, with the same values — for every
+    /// frame shape (word-aligned or not) and every threshold, including the
+    /// 0 and > 128 corners the SWAR mask special-cases.
+    #[test]
+    fn word_threshold_scan_matches_scalar_oracle(frame in arb_frame(), threshold in any::<u8>()) {
+        use videopipe_media::scan::{scan_at_least, scan_at_least_scalar};
+        let width = frame.width() as usize;
+        for row in frame.pixels().chunks_exact(width) {
+            let mut fast = Vec::new();
+            let mut oracle = Vec::new();
+            scan_at_least(row, threshold, |i, v| fast.push((i, v)));
+            scan_at_least_scalar(row, threshold, |i, v| oracle.push((i, v)));
+            prop_assert_eq!(&fast, &oracle, "threshold {}", threshold);
+        }
+    }
+}

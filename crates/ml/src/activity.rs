@@ -51,6 +51,23 @@ impl ActivityModel {
         self.knn.predict(features)
     }
 
+    /// Classifies a batch of pre-extracted feature vectors, one label per
+    /// vector in order. Window features are high-dimensional, so this rides
+    /// the k-NN brute-force batch path: one fused distance matrix per query
+    /// tile against sample norms cached at training time, instead of a
+    /// per-query scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError::DimensionMismatch`] on the first wrong-sized
+    /// vector.
+    pub fn classify_features_batch<Q: AsRef<[f32]>>(
+        &self,
+        features: &[Q],
+    ) -> Result<Vec<&str>, KnnError> {
+        self.knn.predict_batch(features)
+    }
+
     /// Classifies a window of [`WINDOW_LEN`](crate::features::WINDOW_LEN)
     /// poses. Returns `None` when the window length is wrong.
     pub fn classify_window(&self, window: &[Pose]) -> Option<String> {
@@ -181,6 +198,31 @@ mod tests {
         let recognizer =
             ActivityRecognizer::train_synthetic(&[ExerciseKind::Squat], &small_config());
         assert!(recognizer.model().classify_features(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn batch_classification_matches_per_window() {
+        use crate::features::window_features;
+        let recognizer =
+            ActivityRecognizer::train_synthetic(&ExerciseKind::FITNESS, &small_config());
+        let model = recognizer.model();
+        let mut features = Vec::new();
+        for kind in [
+            ExerciseKind::Squat,
+            ExerciseKind::JumpingJack,
+            ExerciseKind::Idle,
+        ] {
+            let clip = MotionClip::new(kind, 2.0);
+            let window: Vec<Pose> = (0..WINDOW_LEN)
+                .map(|i| clip.pose_at(i as u64 * 66_000_000))
+                .collect();
+            features.push(window_features(&window).unwrap());
+        }
+        let batch = model.classify_features_batch(&features).unwrap();
+        for (f, &b) in features.iter().zip(batch.iter()) {
+            assert_eq!(b, model.classify_features(f).unwrap());
+        }
+        assert!(model.classify_features_batch(&[vec![0.0; 3]]).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! classic "tiny-CNN substitute" that still has real failure modes (noise,
 //! unseen poses) while being fully self-contained.
 
-use crate::math::{argmin, distance};
+use crate::math::{argmin, axpy, distance, FORCE_SCALAR};
 use std::error::Error;
 use std::fmt;
 use videopipe_media::Frame;
@@ -56,7 +56,47 @@ pub struct FeatureScratch {
 /// Writes the pooled feature vector of `frame` into `out` (cleared first),
 /// accumulating through `scratch`. Output is identical to
 /// [`image_features`]; the difference is purely allocation reuse.
+///
+/// This is the word-wide kernel: the per-pixel `gx = x·GRID/width` cell
+/// arithmetic is hoisted into precomputed grid-column boundaries (cell `g`
+/// covers columns `[⌈g·W/G⌉, ⌈(g+1)·W/G⌉)`, exactly the columns the
+/// per-pixel mapping assigns it), so each cell's contribution per row is
+/// one contiguous byte-range sum, reduced 8 bytes per `u64` load by SWAR
+/// pair-summing. All accumulation is exact integer arithmetic, so the
+/// result is **bit-identical** to [`image_features_into_scalar`].
 pub fn image_features_into(frame: &Frame, scratch: &mut FeatureScratch, out: &mut Vec<f32>) {
+    if FORCE_SCALAR {
+        return image_features_into_scalar(frame, scratch, out);
+    }
+    let width = frame.width() as usize;
+    let height = frame.height() as usize;
+    let pixels = frame.pixels();
+    scratch.sums.clear();
+    scratch.sums.resize(FEATURE_DIM, 0);
+    scratch.counts.clear();
+    scratch.counts.resize(FEATURE_DIM, 0);
+    let mut col_start = [0usize; GRID + 1];
+    for (g, s) in col_start.iter_mut().enumerate() {
+        *s = (g * width).div_ceil(GRID);
+    }
+    for y in 0..height {
+        let gy = y * GRID / height;
+        let row = &pixels[y * width..(y + 1) * width];
+        for g in 0..GRID {
+            let (start, end) = (col_start[g], col_start[g + 1]);
+            if start < end {
+                let cell = gy * GRID + g;
+                scratch.sums[cell] += sum_bytes(&row[start..end]);
+                scratch.counts[cell] += (end - start) as u64;
+            }
+        }
+    }
+    write_features(scratch, out);
+}
+
+/// Scalar reference oracle for [`image_features_into`]: the pre-kernel
+/// per-pixel cell-index loop.
+pub fn image_features_into_scalar(frame: &Frame, scratch: &mut FeatureScratch, out: &mut Vec<f32>) {
     let width = frame.width() as usize;
     let height = frame.height() as usize;
     let pixels = frame.pixels();
@@ -74,6 +114,32 @@ pub fn image_features_into(frame: &Frame, scratch: &mut FeatureScratch, out: &mu
             scratch.counts[cell] += 1;
         }
     }
+    write_features(scratch, out);
+}
+
+/// Sum of a byte slice, 8 bytes per `u64` load: SWAR pair-sum reduction
+/// (u8 lanes → u16 → u32 → one u64), exact for any input.
+fn sum_bytes(bytes: &[u8]) -> u64 {
+    const PAIR: u64 = 0x00FF_00FF_00FF_00FF;
+    const QUAD: u64 = 0x0000_FFFF_0000_FFFF;
+    let mut chunks = bytes.chunks_exact(8);
+    let mut total = 0u64;
+    for chunk in chunks.by_ref() {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        let pairs = (w & PAIR) + ((w >> 8) & PAIR);
+        let quads = (pairs & QUAD) + ((pairs >> 16) & QUAD);
+        total += (quads & 0xFFFF_FFFF) + (quads >> 32);
+    }
+    total
+        + chunks
+            .remainder()
+            .iter()
+            .map(|&b| u64::from(b))
+            .sum::<u64>()
+}
+
+/// Cell sums/counts → pooled mean features (shared by both kernels).
+fn write_features(scratch: &FeatureScratch, out: &mut Vec<f32>) {
     out.clear();
     out.extend(
         scratch
@@ -103,15 +169,15 @@ impl ImageClassifier {
         I: IntoIterator<Item = (&'a Frame, &'a str)>,
     {
         use std::collections::BTreeMap;
-        let mut sums: BTreeMap<String, (Vec<f64>, usize)> = BTreeMap::new();
+        let mut sums: BTreeMap<String, (Vec<f32>, usize)> = BTreeMap::new();
+        let mut scratch = FeatureScratch::default();
+        let mut features = Vec::with_capacity(FEATURE_DIM);
         for (frame, label) in examples {
-            let features = image_features(frame);
+            image_features_into(frame, &mut scratch, &mut features);
             let entry = sums
                 .entry(label.to_string())
                 .or_insert_with(|| (vec![0.0; FEATURE_DIM], 0));
-            for (a, f) in entry.0.iter_mut().zip(features.iter()) {
-                *a += f64::from(*f);
-            }
+            axpy(1.0, &features, &mut entry.0);
             entry.1 += 1;
         }
         if sums.is_empty() {
@@ -121,7 +187,7 @@ impl ImageClassifier {
         let mut centroids = Vec::with_capacity(sums.len());
         for (label, (sum, n)) in sums {
             labels.push(label);
-            centroids.push(sum.into_iter().map(|s| (s / n as f64) as f32).collect());
+            centroids.push(sum.into_iter().map(|s| s / n as f32).collect());
         }
         Ok(ImageClassifier { labels, centroids })
     }
@@ -248,6 +314,35 @@ mod tests {
             assert_eq!(batched, clf.classify(frame));
         }
         assert!(clf.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn word_features_are_bit_identical_to_scalar_oracle() {
+        // Sizes straddle word and grid boundaries (width < GRID included,
+        // where some cells own no columns at all).
+        let sizes = [(160, 120), (157, 113), (64, 64), (8, 8), (5, 3), (23, 17)];
+        let mut scratch = FeatureScratch::default();
+        let mut fast = Vec::new();
+        let mut oracle = Vec::new();
+        for (w, h) in sizes {
+            let frame =
+                SceneRenderer::new(w, h).render(&ExerciseKind::Squat.pose_at_phase(0.4), 0, 0);
+            image_features_into(&frame, &mut scratch, &mut fast);
+            image_features_into_scalar(&frame, &mut scratch, &mut oracle);
+            assert_eq!(fast, oracle, "{w}x{h} features diverged");
+        }
+    }
+
+    #[test]
+    fn sum_bytes_is_exact() {
+        let mut bytes = Vec::new();
+        for n in [0usize, 1, 7, 8, 9, 255, 256, 1000] {
+            bytes.clear();
+            bytes.extend((0..n).map(|i| (i * 37 % 256) as u8));
+            let expected: u64 = bytes.iter().map(|&b| u64::from(b)).sum();
+            assert_eq!(sum_bytes(&bytes), expected, "len {n}");
+        }
+        assert_eq!(sum_bytes(&[255; 64]), 255 * 64);
     }
 
     #[test]

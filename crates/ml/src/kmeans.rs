@@ -5,7 +5,7 @@
 //! the end. This module is a general fixed-`k` implementation; the rep
 //! counter instantiates it with `k = 2`.
 
-use crate::math::{argmin, squared_distance};
+use crate::math::{argmin, distances_block_into, squared_distance, PointBlock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
@@ -123,15 +123,35 @@ impl KMeans {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut centroids = kmeans_pp_init(samples, self.k, &mut rng);
         let mut assignments = vec![0usize; samples.len()];
+        let mut dists: Vec<f32> = Vec::new();
+        let mut best_dist = vec![0.0f32; samples.len()];
+        let mut best_centroid = vec![0usize; samples.len()];
+        // The samples never change across iterations, so their column-major
+        // copy and squared norms are frozen once; each assignment pass then
+        // costs only the row-parallel distance walk with the centroids as
+        // queries (k wide rows of samples.len() contiguous floats each).
+        let block = PointBlock::new(samples);
 
         for _ in 0..self.max_iters {
-            // Assignment step.
+            // Assignment step: one fused k × n distance matrix, then a
+            // column-wise running min so ties keep the lower centroid index
+            // (matching `argmin`). Both buffers are reused across iterations.
+            distances_block_into(&centroids, &block, &mut dists);
             let mut changed = false;
-            for (i, s) in samples.iter().enumerate() {
-                let dists: Vec<f32> = centroids.iter().map(|c| squared_distance(s, c)).collect();
-                let best = argmin(&dists).expect("k >= 1");
-                if assignments[i] != best {
-                    assignments[i] = best;
+            let (first_row, rest) = dists.split_at(samples.len());
+            best_dist.copy_from_slice(first_row);
+            best_centroid.fill(0);
+            for (c, row) in rest.chunks_exact(samples.len()).enumerate() {
+                for ((b, a), &d) in best_dist.iter_mut().zip(&mut best_centroid).zip(row) {
+                    if d < *b {
+                        *b = d;
+                        *a = c + 1;
+                    }
+                }
+            }
+            for (slot, &best) in assignments.iter_mut().zip(&best_centroid) {
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }

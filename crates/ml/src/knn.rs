@@ -6,8 +6,17 @@
 //! degrade towards linear scans, so [`KnnClassifier`] picks the brute-force
 //! path for high dimensions and the KD-tree for low ones; both are exposed
 //! for benchmarking.
+//!
+//! Both paths run on the blocked kernels from [`crate::math`]: the KD-tree
+//! buckets points into leaves of [`KDTREE_LEAF_SIZE`] and scans each leaf
+//! with the blocked [`squared_distance`], while [`KnnClassifier::predict_batch`]
+//! feeds whole query tiles through the fused
+//! [`distances_with_norms_into`](crate::math::distances_with_norms_into)
+//! distance-matrix kernel against sample norms cached at fit time.
+//! [`KnnClassifier::brute_force_scalar`] keeps the pre-kernel scan as the
+//! reference oracle.
 
-use crate::math::squared_distance;
+use crate::math::{distances_with_norms_into, squared_distance, squared_distance_scalar};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -60,24 +69,40 @@ impl Error for KnnError {}
 /// brute-force scan (the curse of dimensionality makes the tree useless).
 pub const KDTREE_MAX_DIM: usize = 16;
 
+/// Maximum points per KD-tree leaf. Leaves are scanned with the blocked
+/// distance kernel, so bucketing trades a few extra distance evaluations
+/// for far fewer pointer-chasing splits — the classic cache-friendly
+/// KD-tree layout.
+pub const KDTREE_LEAF_SIZE: usize = 16;
+
+/// Queries per tile in [`KnnClassifier::predict_batch`]; bounds the reused
+/// distance-matrix buffer at `KNN_BATCH_TILE × samples` floats.
+const KNN_BATCH_TILE: usize = 64;
+
 #[derive(Debug, Clone)]
-struct KdNode {
-    /// Index into the sample arrays.
-    point: usize,
-    axis: usize,
-    left: Option<Box<KdNode>>,
-    right: Option<Box<KdNode>>,
+enum KdNode {
+    Split {
+        axis: usize,
+        /// Splitting coordinate: left subtree holds points with
+        /// `point[axis] <= value`, right subtree the rest.
+        value: f32,
+        left: Box<KdNode>,
+        right: Box<KdNode>,
+    },
+    /// Bucket of sample indices, scanned linearly with the blocked kernel.
+    Leaf(Vec<usize>),
 }
 
 /// A KD-tree over row indices of a sample matrix.
 #[derive(Debug, Clone)]
 pub struct KdTree {
-    root: Option<Box<KdNode>>,
+    root: Option<KdNode>,
     dim: usize,
 }
 
 impl KdTree {
-    /// Builds a balanced KD-tree over `samples` (median splits).
+    /// Builds a balanced KD-tree over `samples` (median splits, points
+    /// bucketed into leaves of at most [`KDTREE_LEAF_SIZE`]).
     ///
     /// # Panics
     ///
@@ -92,18 +117,13 @@ impl KdTree {
             "inconsistent sample dimensions"
         );
         let mut indices: Vec<usize> = (0..samples.len()).collect();
-        let root = Self::build_node(samples, &mut indices, 0, dim);
+        let root = Some(Self::build_node(samples, &mut indices, 0, dim));
         KdTree { root, dim }
     }
 
-    fn build_node(
-        samples: &[Vec<f32>],
-        indices: &mut [usize],
-        depth: usize,
-        dim: usize,
-    ) -> Option<Box<KdNode>> {
-        if indices.is_empty() {
-            return None;
+    fn build_node(samples: &[Vec<f32>], indices: &mut [usize], depth: usize, dim: usize) -> KdNode {
+        if indices.len() <= KDTREE_LEAF_SIZE {
+            return KdNode::Leaf(indices.to_vec());
         }
         let axis = depth % dim;
         indices.sort_by(|&a, &b| {
@@ -111,16 +131,17 @@ impl KdTree {
                 .partial_cmp(&samples[b][axis])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        // len > LEAF_SIZE >= 1, so both halves are non-empty and recursion
+        // strictly shrinks.
         let mid = indices.len() / 2;
-        let point = indices[mid];
-        let (left_idx, rest) = indices.split_at_mut(mid);
-        let right_idx = &mut rest[1..];
-        Some(Box::new(KdNode {
-            point,
+        let value = samples[indices[mid - 1]][axis];
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        KdNode::Split {
             axis,
-            left: Self::build_node(samples, left_idx, depth + 1, dim),
-            right: Self::build_node(samples, right_idx, depth + 1, dim),
-        }))
+            value,
+            left: Box::new(Self::build_node(samples, left_idx, depth + 1, dim)),
+            right: Box::new(Self::build_node(samples, right_idx, depth + 1, dim)),
+        }
     }
 
     /// Returns the indices of the `k` nearest samples to `query`, closest
@@ -140,25 +161,31 @@ impl KdTree {
         k: usize,
         best: &mut Vec<(f32, usize)>,
     ) {
-        let d = squared_distance(query, &samples[node.point]);
-        insert_candidate(best, k, d, node.point);
-
-        let axis = node.axis;
-        let diff = query[axis] - samples[node.point][axis];
-        let (near, far) = if diff <= 0.0 {
-            (&node.left, &node.right)
-        } else {
-            (&node.right, &node.left)
-        };
-        if let Some(n) = near {
-            Self::search(n, samples, query, k, best);
-        }
-        // Only descend the far side if the splitting plane is closer than the
-        // current k-th best.
-        let worst = best.last().map(|(d, _)| *d).unwrap_or(f32::INFINITY);
-        if best.len() < k || diff * diff < worst {
-            if let Some(n) = far {
-                Self::search(n, samples, query, k, best);
+        match node {
+            KdNode::Leaf(indices) => {
+                for &i in indices {
+                    insert_candidate(best, k, squared_distance(query, &samples[i]), i);
+                }
+            }
+            KdNode::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*axis] - value;
+                let (near, far) = if diff <= 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                Self::search(near, samples, query, k, best);
+                // Only descend the far side if the splitting plane is closer
+                // than the current k-th best.
+                let worst = best.last().map(|(d, _)| *d).unwrap_or(f32::INFINITY);
+                if best.len() < k || diff * diff < worst {
+                    Self::search(far, samples, query, k, best);
+                }
             }
         }
     }
@@ -185,6 +212,9 @@ pub struct KnnClassifier {
     k: usize,
     samples: Vec<Vec<f32>>,
     labels: Vec<String>,
+    /// Cached `‖sample‖²` per sample, so batched prediction can use the
+    /// norm-decomposition distance matrix without a per-call norm pass.
+    norms: Vec<f32>,
     tree: Option<KdTree>,
 }
 
@@ -222,10 +252,12 @@ impl KnnClassifier {
         } else {
             None
         };
+        let norms = crate::math::squared_norms(&samples);
         Ok(KnnClassifier {
             k,
             samples,
             labels,
+            norms,
             tree,
         })
     }
@@ -265,18 +297,63 @@ impl KnnClassifier {
     /// dimension.
     pub fn predict(&self, query: &[f32]) -> Result<&str, KnnError> {
         let neighbours = self.neighbours(query)?;
+        Ok(self.vote(&neighbours))
+    }
+
+    /// Predicts a whole batch of queries.
+    ///
+    /// On the brute-force path (high-dimensional features) this runs the
+    /// fused norm-decomposition distance-matrix kernel over query tiles,
+    /// reusing one distance buffer and the sample norms cached at fit time;
+    /// on the KD-tree path it falls back to per-query search (tree pruning
+    /// already skips most distance work there).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnnError::DimensionMismatch`] on the first wrong-sized
+    /// query.
+    pub fn predict_batch<Q: AsRef<[f32]>>(&self, queries: &[Q]) -> Result<Vec<&str>, KnnError> {
+        for q in queries {
+            if q.as_ref().len() != self.dim() {
+                return Err(KnnError::DimensionMismatch {
+                    expected: self.dim(),
+                    actual: q.as_ref().len(),
+                });
+            }
+        }
+        if self.tree.is_some() {
+            return queries.iter().map(|q| self.predict(q.as_ref())).collect();
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        let mut dists: Vec<f32> = Vec::new();
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k + 1);
+        for tile in queries.chunks(KNN_BATCH_TILE) {
+            distances_with_norms_into(tile, &self.samples, &self.norms, &mut dists);
+            for row in dists.chunks_exact(self.samples.len()) {
+                best.clear();
+                for (i, &d) in row.iter().enumerate() {
+                    insert_candidate(&mut best, self.k, d, i);
+                }
+                let neighbours: Vec<usize> = best.iter().map(|&(_, i)| i).collect();
+                out.push(self.vote(&neighbours));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Majority vote among neighbour indices (closest-first), ties broken
+    /// by the nearest neighbour among tied labels.
+    fn vote(&self, neighbours: &[usize]) -> &str {
         let mut votes: HashMap<&str, usize> = HashMap::new();
-        for &i in &neighbours {
+        for &i in neighbours {
             *votes.entry(self.labels[i].as_str()).or_insert(0) += 1;
         }
         let max_votes = *votes.values().max().expect("at least one neighbour");
-        // Nearest neighbour whose label has the max vote count wins ties.
-        let winner = neighbours
+        neighbours
             .iter()
             .map(|&i| self.labels[i].as_str())
             .find(|l| votes[l] == max_votes)
-            .expect("at least one neighbour");
-        Ok(winner)
+            .expect("at least one neighbour")
     }
 
     /// Indices of the `k` nearest training samples, closest first.
@@ -297,12 +374,23 @@ impl KnnClassifier {
         })
     }
 
-    /// Brute-force nearest neighbours (also used by benchmarks to compare
-    /// against the KD-tree).
+    /// Brute-force nearest neighbours on the blocked distance kernel (also
+    /// used by benchmarks to compare against the KD-tree).
     pub fn brute_force(&self, query: &[f32]) -> Vec<usize> {
         let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k + 1);
         for (i, s) in self.samples.iter().enumerate() {
             insert_candidate(&mut best, self.k, squared_distance(query, s), i);
+        }
+        best.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Scalar oracle for [`brute_force`](Self::brute_force): the pre-kernel
+    /// per-element scan, kept for equivalence tests and `force-scalar`
+    /// benchmarking.
+    pub fn brute_force_scalar(&self, query: &[f32]) -> Vec<usize> {
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k + 1);
+        for (i, s) in self.samples.iter().enumerate() {
+            insert_candidate(&mut best, self.k, squared_distance_scalar(query, s), i);
         }
         best.into_iter().map(|(_, i)| i).collect()
     }
@@ -385,6 +473,74 @@ mod tests {
     }
 
     #[test]
+    fn blocked_brute_force_matches_scalar_oracle() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // High-dimensional so the blocked kernel exercises whole 8-lane
+        // blocks plus a remainder.
+        let samples: Vec<Vec<f32>> = (0..60)
+            .map(|_| (0..37).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let labels: Vec<String> = (0..60).map(|i| format!("l{}", i % 3)).collect();
+        let knn = KnnClassifier::fit(5, samples.clone(), labels).unwrap();
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..37).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let fast = knn.brute_force(&q);
+            let oracle = knn.brute_force_scalar(&q);
+            for (&a, &b) in fast.iter().zip(oracle.iter()) {
+                let da = squared_distance_scalar(&q, &samples[a]);
+                let db = squared_distance_scalar(&q, &samples[b]);
+                assert!(
+                    (da - db).abs() < 1e-4,
+                    "blocked {fast:?} != scalar {oracle:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_query_predict() {
+        // Brute-force path: high-dimensional separable clusters.
+        let mut rng = StdRng::seed_from_u64(7);
+        let dim = 34;
+        let mut samples = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        for i in 0..40 {
+            let centre = if i % 2 == 0 { 0.0 } else { 4.0 };
+            samples.push(
+                (0..dim)
+                    .map(|_| centre + rng.gen_range(-0.5f32..0.5))
+                    .collect::<Vec<f32>>(),
+            );
+            labels.push(if i % 2 == 0 { "a".into() } else { "b".into() });
+        }
+        let knn = KnnClassifier::fit(5, samples.clone(), labels).unwrap();
+        assert!(!knn.uses_kdtree());
+        let queries: Vec<Vec<f32>> = (0..9)
+            .map(|i| {
+                let centre = if i % 2 == 0 { 0.0 } else { 4.0 };
+                (0..dim)
+                    .map(|_| centre + rng.gen_range(-0.5f32..0.5))
+                    .collect()
+            })
+            .collect();
+        let batch = knn.predict_batch(&queries).unwrap();
+        for (q, &b) in queries.iter().zip(batch.iter()) {
+            assert_eq!(b, knn.predict(q).unwrap());
+        }
+        // KD-tree path delegates to per-query predict.
+        let (s, l) = grid_data();
+        let knn = KnnClassifier::fit(3, s.clone(), l).unwrap();
+        assert!(knn.uses_kdtree());
+        let batch = knn.predict_batch(&s).unwrap();
+        for (q, &b) in s.iter().zip(batch.iter()) {
+            assert_eq!(b, knn.predict(q).unwrap());
+        }
+        // Dimension errors surface, batch of none is fine.
+        assert!(knn.predict_batch(&[vec![0.0]]).is_err());
+        assert!(knn.predict_batch::<Vec<f32>>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
     fn high_dimensional_data_skips_kdtree() {
         let samples = vec![vec![0.0; 64], vec![1.0; 64]];
         let labels = vec!["a".into(), "b".into()];
@@ -458,5 +614,24 @@ mod tests {
     fn empty_kdtree_is_valid() {
         let tree = KdTree::build(&[]);
         assert!(tree.nearest(&[], &[0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn leaf_bucketed_tree_splits_above_leaf_size() {
+        // More points than one leaf on a line: the tree must still return
+        // exact nearest neighbours across leaf boundaries.
+        let samples: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let tree = KdTree::build(&samples);
+        for q in [0.0f32, 16.2, 49.9, 99.0] {
+            let n = tree.nearest(&samples, &[q], 3);
+            let mut brute: Vec<usize> = (0..samples.len()).collect();
+            brute.sort_by(|&a, &b| {
+                (samples[a][0] - q)
+                    .abs()
+                    .partial_cmp(&(samples[b][0] - q).abs())
+                    .unwrap()
+            });
+            assert_eq!(n, brute[..3].to_vec(), "query {q}");
+        }
     }
 }

@@ -1,17 +1,75 @@
-//! Small dense-vector helpers shared by the ML algorithms.
+//! Small dense-vector kernels shared by the ML algorithms.
 //!
 //! Everything operates on `&[f32]` slices so callers can use plain `Vec`s as
 //! feature vectors without any wrapper types.
+//!
+//! # Kernels
+//!
+//! The distance/dot/axpy/mean kernels come in two forms, mirroring the codec
+//! contract in `videopipe-media`: a **blocked 8-lane** fast path (the
+//! default) and a byte-at-a-time **scalar oracle** (`*_scalar`) kept as the
+//! reference implementation. The blocked kernels accumulate into eight
+//! independent lanes so the compiler can autovectorize them; property tests
+//! pin each one to its oracle under the per-kernel policy below:
+//!
+//! | kernel | contract vs oracle |
+//! |---|---|
+//! | [`axpy`] | bit-identical (same per-element operations) |
+//! | [`mean`] | bit-identical (per-column `f64` sums in the same order) |
+//! | [`dot`], [`squared_distance`] | ε-bounded (8-lane tree sum re-associates the reduction) |
+//! | [`distances_into`] | ε-bounded (‖a−b‖² = ‖a‖²+‖b‖²−2a·b decomposition, clamped at 0) |
+//!
+//! Building `videopipe-ml` with the `force-scalar` feature routes every
+//! dispatching kernel through its scalar oracle, which keeps the fallback
+//! path exercised in CI and gives a one-flag A/B switch for benchmarks.
+//!
+//! # Length mismatches
+//!
+//! All two-vector kernels `assert!` on length mismatch in **every** build
+//! profile. (They previously only `debug_assert!`ed, silently truncating to
+//! the shorter vector in release builds — which is never correct.)
 
-/// Squared Euclidean distance between two equal-length vectors.
+/// Whether the `force-scalar` feature routes kernels through their oracles.
+pub const FORCE_SCALAR: bool = cfg!(feature = "force-scalar");
+
+/// Number of independent accumulator lanes in the blocked kernels.
+const LANES: usize = 8;
+
+/// Squared Euclidean distance between two equal-length vectors
+/// (blocked 8-lane kernel; ε-bounded against [`squared_distance_scalar`]).
 ///
 /// # Panics
 ///
-/// Panics (via `debug_assert!`) in debug builds when the lengths differ; in
-/// release builds the shorter length wins, which is never correct — callers
-/// must pass equal-length vectors.
+/// Panics when the lengths differ, in release builds too.
 pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "vector length mismatch");
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    if FORCE_SCALAR {
+        return squared_distance_scalar(a, b);
+    }
+    let mut lanes = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for i in 0..LANES {
+            let d = xa[i] - xb[i];
+            lanes[i] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    reduce_lanes(&lanes) + tail
+}
+
+/// Scalar reference oracle for [`squared_distance`] (sequential sum).
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn squared_distance_scalar(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
     a.iter()
         .zip(b.iter())
         .map(|(x, y)| {
@@ -21,25 +79,364 @@ pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
         .sum()
 }
 
-/// Euclidean distance between two equal-length vectors.
-pub fn distance(a: &[f32], b: &[f32]) -> f32 {
-    squared_distance(a, b).sqrt()
+/// Dot product of two equal-length vectors (blocked 8-lane kernel;
+/// ε-bounded against [`dot_scalar`]).
+///
+/// # Panics
+///
+/// Panics when the lengths differ, in release builds too.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    if FORCE_SCALAR {
+        return dot_scalar(a, b);
+    }
+    let mut lanes = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for i in 0..LANES {
+            lanes[i] += xa[i] * xb[i];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    reduce_lanes(&lanes) + tail
 }
 
-/// Element-wise mean of a non-empty set of equal-length vectors.
+/// Scalar reference oracle for [`dot`] (sequential sum).
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Pairwise tree reduction of the accumulator lanes (fixed association, so
+/// the blocked kernels are deterministic run to run).
+fn reduce_lanes(lanes: &[f32; LANES]) -> f32 {
+    ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
+}
+
+/// `y[i] += alpha * x[i]` over two equal-length vectors (blocked kernel;
+/// **bit-identical** to [`axpy_scalar`] — the per-element operation is the
+/// same, only the loop is unrolled).
+///
+/// # Panics
+///
+/// Panics when the lengths differ, in release builds too.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "vector length mismatch");
+    if FORCE_SCALAR {
+        return axpy_scalar(alpha, x, y);
+    }
+    let mut cy = y.chunks_exact_mut(LANES);
+    let mut cx = x.chunks_exact(LANES);
+    for (ya, xa) in cy.by_ref().zip(cx.by_ref()) {
+        for i in 0..LANES {
+            ya[i] += alpha * xa[i];
+        }
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scalar reference oracle for [`axpy`].
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "vector length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise mean of a non-empty set of equal-length vectors (blocked
+/// column kernel; **bit-identical** to [`mean_scalar`] — each column is an
+/// independent `f64` sum accumulated in the same vector order).
 ///
 /// Returns `None` when `vectors` is empty.
-pub fn mean(vectors: &[&[f32]]) -> Option<Vec<f32>> {
-    let first = vectors.first()?;
+///
+/// # Panics
+///
+/// Panics when the vectors have inconsistent lengths, in release builds too.
+pub fn mean<V: AsRef<[f32]>>(vectors: &[V]) -> Option<Vec<f32>> {
+    if FORCE_SCALAR {
+        return mean_scalar(vectors);
+    }
+    let first = vectors.first()?.as_ref();
     let mut acc = vec![0.0f64; first.len()];
     for v in vectors {
-        debug_assert_eq!(v.len(), first.len(), "vector length mismatch");
+        let v = v.as_ref();
+        assert_eq!(v.len(), first.len(), "vector length mismatch");
+        let mut ca = acc.chunks_exact_mut(LANES);
+        let mut cv = v.chunks_exact(LANES);
+        for (aa, xa) in ca.by_ref().zip(cv.by_ref()) {
+            for i in 0..LANES {
+                aa[i] += f64::from(xa[i]);
+            }
+        }
+        for (a, x) in ca.into_remainder().iter_mut().zip(cv.remainder()) {
+            *a += f64::from(*x);
+        }
+    }
+    let n = vectors.len() as f64;
+    Some(acc.into_iter().map(|a| (a / n) as f32).collect())
+}
+
+/// Scalar reference oracle for [`mean`].
+///
+/// # Panics
+///
+/// Panics when the vectors have inconsistent lengths.
+pub fn mean_scalar<V: AsRef<[f32]>>(vectors: &[V]) -> Option<Vec<f32>> {
+    let first = vectors.first()?.as_ref();
+    let mut acc = vec![0.0f64; first.len()];
+    for v in vectors {
+        let v = v.as_ref();
+        assert_eq!(v.len(), first.len(), "vector length mismatch");
         for (a, x) in acc.iter_mut().zip(v.iter()) {
             *a += f64::from(*x);
         }
     }
     let n = vectors.len() as f64;
     Some(acc.into_iter().map(|a| (a / n) as f32).collect())
+}
+
+/// Squared norms ‖p‖² of a set of points, for [`distances_with_norms_into`]
+/// callers that amortise the norm pass across many batches (k-NN caches
+/// these at fit time).
+pub fn squared_norms<P: AsRef<[f32]>>(points: &[P]) -> Vec<f32> {
+    points.iter().map(|p| dot(p.as_ref(), p.as_ref())).collect()
+}
+
+/// Fused batch distance-matrix kernel:
+/// `out[q * points.len() + p] = ‖queries[q] − points[p]‖²`.
+///
+/// Uses the ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b decomposition with the point norms
+/// computed **once** per call (instead of per pair), over a column-major
+/// copy of the points: each output row is initialised to ‖q‖² + ‖p‖² and
+/// then walked once per dimension, subtracting `2·q_d·p_d` across the whole
+/// row of contiguous point components. Every row element is independent, so
+/// the inner loop autovectorizes without any reduction chain. Results are
+/// clamped at 0 (the decomposition can go fractionally negative when a
+/// query coincides with a point) and are ε-bounded, not bit-identical,
+/// against [`distances_into_scalar`]:
+/// `|d − d_scalar| ≤ 1e-3 · (1 + ‖a‖² + ‖b‖²)`, the documented policy the
+/// property tests pin.
+///
+/// `out` is cleared and refilled, so one buffer can be reused across calls.
+///
+/// # Panics
+///
+/// Panics when any query or point length differs from the rest.
+pub fn distances_into<Q: AsRef<[f32]>, P: AsRef<[f32]>>(
+    queries: &[Q],
+    points: &[P],
+    out: &mut Vec<f32>,
+) {
+    let norms = squared_norms(points);
+    distances_with_norms_into(queries, points, &norms, out);
+}
+
+/// [`distances_into`] with caller-cached point norms (`norms[p] = ‖points[p]‖²`).
+///
+/// # Panics
+///
+/// Panics when `norms.len() != points.len()` or any vector length differs.
+pub fn distances_with_norms_into<Q: AsRef<[f32]>, P: AsRef<[f32]>>(
+    queries: &[Q],
+    points: &[P],
+    norms: &[f32],
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(norms.len(), points.len(), "one norm per point");
+    out.clear();
+    if FORCE_SCALAR {
+        distances_into_scalar(queries, points, out);
+        return;
+    }
+    let Some(dim) = points.first().map(|p| p.as_ref().len()) else {
+        return;
+    };
+    let transposed = transpose_points(points, dim);
+    distances_transposed(queries, &transposed, points.len(), dim, norms, out);
+}
+
+/// Column-major copy of `points`: slot `d * points.len() + p` holds
+/// component `d` of point `p`, so a whole "column" of one dimension is
+/// contiguous.
+///
+/// # Panics
+///
+/// Panics when any point length differs from `dim`.
+fn transpose_points<P: AsRef<[f32]>>(points: &[P], dim: usize) -> Vec<f32> {
+    let np = points.len();
+    let mut transposed = vec![0.0f32; np * dim];
+    for (p, point) in points.iter().enumerate() {
+        let point = point.as_ref();
+        assert_eq!(point.len(), dim, "vector length mismatch");
+        for (d, &v) in point.iter().enumerate() {
+            transposed[d * np + p] = v;
+        }
+    }
+    transposed
+}
+
+/// Shared core of the fused distance matrix: the row-parallel walk over a
+/// column-major point block.
+fn distances_transposed<Q: AsRef<[f32]>>(
+    queries: &[Q],
+    transposed: &[f32],
+    np: usize,
+    dim: usize,
+    norms: &[f32],
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.resize(queries.len() * np, 0.0);
+    for (qi, q) in queries.iter().enumerate() {
+        let q = q.as_ref();
+        assert_eq!(q.len(), dim, "vector length mismatch");
+        let qn = dot(q, q);
+        let row = &mut out[qi * np..(qi + 1) * np];
+        for (r, &pn) in row.iter_mut().zip(norms) {
+            *r = qn + pn;
+        }
+        for (d, &qd) in q.iter().enumerate() {
+            let column = &transposed[d * np..(d + 1) * np];
+            let coeff = -2.0 * qd;
+            for (r, &pv) in row.iter_mut().zip(column) {
+                *r += coeff * pv;
+            }
+        }
+        for r in row.iter_mut() {
+            *r = r.max(0.0);
+        }
+    }
+}
+
+/// A point set frozen for repeated distance-matrix calls: the column-major
+/// copy and the squared norms are built once, so per-call work is only the
+/// row-parallel walk. k-means freezes its samples this way at fit time and
+/// reuses the block across every assignment iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointBlock {
+    transposed: Vec<f32>,
+    norms: Vec<f32>,
+    len: usize,
+    dim: usize,
+}
+
+impl PointBlock {
+    /// Builds the block (one transpose + one norm pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the points have inconsistent lengths.
+    pub fn new<P: AsRef<[f32]>>(points: &[P]) -> Self {
+        let dim = points.first().map_or(0, |p| p.as_ref().len());
+        PointBlock {
+            transposed: transpose_points(points, dim),
+            norms: squared_norms(points),
+            len: points.len(),
+            dim,
+        }
+    }
+
+    /// Number of points in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the points (0 for an empty block).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// [`distances_into`] against a prebuilt [`PointBlock`]:
+/// `out[q * block.len() + p] = ‖queries[q] − points[p]‖²` with the
+/// transpose and norm passes already paid. Same ε policy and 0-clamp as
+/// [`distances_with_norms_into`]. Under `force-scalar` the block's
+/// column-major layout is walked in ascending-dimension order per pair,
+/// which reproduces [`distances_into_scalar`]'s accumulation exactly.
+///
+/// # Panics
+///
+/// Panics when any query length differs from `block.dim()` (for a
+/// non-empty block).
+pub fn distances_block_into<Q: AsRef<[f32]>>(
+    queries: &[Q],
+    block: &PointBlock,
+    out: &mut Vec<f32>,
+) {
+    if FORCE_SCALAR {
+        out.clear();
+        out.reserve(queries.len() * block.len);
+        for q in queries {
+            let q = q.as_ref();
+            assert_eq!(q.len(), block.dim, "vector length mismatch");
+            for p in 0..block.len {
+                let mut d = 0.0f32;
+                for (dd, &qd) in q.iter().enumerate() {
+                    let diff = qd - block.transposed[dd * block.len + p];
+                    d += diff * diff;
+                }
+                out.push(d);
+            }
+        }
+        return;
+    }
+    distances_transposed(
+        queries,
+        &block.transposed,
+        block.len,
+        block.dim,
+        &block.norms,
+        out,
+    );
+}
+
+/// Scalar reference oracle for [`distances_into`]: a direct
+/// [`squared_distance_scalar`] per (query, point) pair.
+///
+/// # Panics
+///
+/// Panics when any vector length differs.
+pub fn distances_into_scalar<Q: AsRef<[f32]>, P: AsRef<[f32]>>(
+    queries: &[Q],
+    points: &[P],
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.reserve(queries.len() * points.len());
+    for q in queries {
+        for p in points {
+            out.push(squared_distance_scalar(q.as_ref(), p.as_ref()));
+        }
+    }
+}
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics when the lengths differ, in release builds too.
+pub fn distance(a: &[f32], b: &[f32]) -> f32 {
+    squared_distance(a, b).sqrt()
 }
 
 /// Arithmetic mean of a scalar slice (0.0 for an empty slice).
@@ -121,12 +518,112 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernels_match_oracles_across_lengths() {
+        // Lengths straddle the 8-lane boundary: empty, single, 7, 8, 9, 20.
+        for n in [0usize, 1, 7, 8, 9, 20, 64, 65] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 1.3).cos() * 2.0).collect();
+            let eps = 1e-4 * (1.0 + n as f32);
+            assert!(
+                (squared_distance(&a, &b) - squared_distance_scalar(&a, &b)).abs() < eps,
+                "squared_distance len {n}"
+            );
+            assert!(
+                (dot(&a, &b) - dot_scalar(&a, &b)).abs() < eps,
+                "dot len {n}"
+            );
+            let mut y1 = b.clone();
+            let mut y2 = b.clone();
+            axpy(0.37, &a, &mut y1);
+            axpy_scalar(0.37, &a, &mut y2);
+            assert_eq!(y1, y2, "axpy must be bit-identical, len {n}");
+        }
+    }
+
+    #[test]
     fn mean_of_vectors() {
         let a = [1.0f32, 2.0];
         let b = [3.0f32, 6.0];
-        let m = mean(&[&a, &b]).unwrap();
+        let m = mean(&[&a[..], &b[..]]).unwrap();
         assert_eq!(m, vec![2.0, 4.0]);
-        assert_eq!(mean(&[]), None);
+        assert_eq!(mean::<&[f32]>(&[]), None);
+        // Blocked and scalar means are bit-identical, including past lane 8.
+        let vs: Vec<Vec<f32>> = (0..5)
+            .map(|r| (0..19).map(|c| (r * 19 + c) as f32 * 0.31).collect())
+            .collect();
+        assert_eq!(mean(&vs), mean_scalar(&vs));
+    }
+
+    #[test]
+    fn distance_matrix_matches_scalar_oracle() {
+        let queries: Vec<Vec<f32>> = (0..3)
+            .map(|q| (0..13).map(|i| (q * 13 + i) as f32 * 0.11 - 2.0).collect())
+            .collect();
+        let points: Vec<Vec<f32>> = (0..4)
+            .map(|p| (0..13).map(|i| (p * 13 + i) as f32 * 0.07 - 1.0).collect())
+            .collect();
+        let mut fast = Vec::new();
+        let mut oracle = Vec::new();
+        distances_into(&queries, &points, &mut fast);
+        distances_into_scalar(&queries, &points, &mut oracle);
+        assert_eq!(fast.len(), oracle.len());
+        for (qi, q) in queries.iter().enumerate() {
+            for (pi, p) in points.iter().enumerate() {
+                let i = qi * points.len() + pi;
+                let eps = 1e-3 * (1.0 + dot(q, q) + dot(p, p));
+                assert!(
+                    (fast[i] - oracle[i]).abs() <= eps,
+                    "pair ({qi},{pi}): {} vs {}",
+                    fast[i],
+                    oracle[i]
+                );
+            }
+        }
+        // A query that coincides with a point must not go negative.
+        let mut d = Vec::new();
+        distances_into(&[points[2].clone()], &points, &mut d);
+        assert!(d[2] >= 0.0 && d[2] < 1e-3);
+    }
+
+    #[test]
+    fn distance_matrix_reuses_buffer_and_handles_empty() {
+        let mut out = vec![99.0; 7];
+        distances_into(&[[1.0f32, 2.0]], &[[1.0f32, 2.0], [4.0, 6.0]], &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out[0] < 1e-6 && (out[1] - 25.0).abs() < 1e-3);
+        distances_into::<[f32; 2], [f32; 2]>(&[], &[[0.0, 0.0]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn squared_distance_rejects_mismatch() {
+        let _ = squared_distance(&[0.0, 1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[0.0, 1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_mismatch() {
+        axpy(1.0, &[0.0, 1.0], &mut [0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mean_rejects_mismatch() {
+        let _ = mean(&[vec![0.0, 1.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one norm per point")]
+    fn distances_reject_norm_count_mismatch() {
+        let mut out = Vec::new();
+        distances_with_norms_into(&[[0.0f32]], &[[0.0f32]], &[], &mut out);
     }
 
     #[test]

@@ -5,7 +5,17 @@
 //! intensities; this detector thresholds, labels connected components
 //! (4-connectivity, union-find), and reports bounding boxes with simple
 //! shape classification (box vs disc by fill ratio).
+//!
+//! The production path ([`ObjectDetector::detect`]) thresholds with the
+//! word-wide scan from [`videopipe_media::scan`] (8 pixels per load,
+//! background words skipped with one compare) and remembers the foreground
+//! indices it finds, so the statistics pass walks only foreground pixels
+//! instead of re-scanning the whole grid. The pre-kernel per-pixel
+//! implementation stays available as the [`ObjectDetector::detect_scalar`]
+//! oracle; both produce the same set of objects (the unit tests pin it).
 
+use crate::math::FORCE_SCALAR;
+use videopipe_media::scan::scan_at_least;
 use videopipe_media::Frame;
 
 /// Default intensity threshold separating objects from the skeleton
@@ -65,23 +75,68 @@ impl ObjectDetector {
     }
 
     /// Detects all objects in the frame, largest first.
+    ///
+    /// Word-wide path: the thresholding pass runs 8 pixels per `u64` load
+    /// and records the foreground indices, so the statistics pass walks the
+    /// (sparse) foreground list instead of re-scanning the whole grid.
     pub fn detect(&self, frame: &Frame) -> Vec<DetectedObject> {
+        if FORCE_SCALAR {
+            return self.detect_scalar(frame);
+        }
+        let width = frame.width() as usize;
+        let height = frame.height() as usize;
+        let pixels = frame.pixels();
+
+        // Union-find over foreground pixels, remembering which pixels were
+        // foreground (row-major, same order the scalar oracle unions in).
+        let mut parent: Vec<u32> = vec![u32::MAX; width * height];
+        let mut foreground: Vec<u32> = Vec::new();
+        for y in 0..height {
+            let row = &pixels[y * width..(y + 1) * width];
+            scan_at_least(row, self.threshold, |x, _| {
+                let idx = y * width + x;
+                parent[idx] = idx as u32;
+                foreground.push(idx as u32);
+                // Union with left and top foreground neighbours.
+                if x > 0 && parent[idx - 1] != u32::MAX {
+                    let a = find(&mut parent, idx as u32);
+                    let b = find(&mut parent, (idx - 1) as u32);
+                    if a != b {
+                        parent[a as usize] = b;
+                    }
+                }
+                if y > 0 && parent[idx - width] != u32::MAX {
+                    let a = find(&mut parent, idx as u32);
+                    let b = find(&mut parent, (idx - width) as u32);
+                    if a != b {
+                        parent[a as usize] = b;
+                    }
+                }
+            });
+        }
+
+        // Accumulate per-root statistics over foreground pixels only.
+        let mut blobs: HashMap<u32, Acc> = HashMap::new();
+        for &fg in &foreground {
+            let idx = fg as usize;
+            let (x, y) = (idx % width, idx / width);
+            let root = find(&mut parent, fg);
+            accumulate(&mut blobs, root, x, y, pixels[idx]);
+        }
+
+        self.summarise(blobs, width, height)
+    }
+
+    /// Scalar reference oracle for [`detect`](Self::detect): per-pixel
+    /// threshold branch and a second full-grid statistics pass, exactly the
+    /// pre-kernel implementation.
+    pub fn detect_scalar(&self, frame: &Frame) -> Vec<DetectedObject> {
         let width = frame.width() as usize;
         let height = frame.height() as usize;
         let pixels = frame.pixels();
 
         // Union-find over foreground pixels.
         let mut parent: Vec<u32> = vec![u32::MAX; width * height];
-
-        fn find(parent: &mut [u32], mut i: u32) -> u32 {
-            while parent[i as usize] != i {
-                let p = parent[i as usize];
-                parent[i as usize] = parent[p as usize];
-                i = parent[i as usize];
-            }
-            i
-        }
-
         for y in 0..height {
             for x in 0..width {
                 let idx = y * width + x;
@@ -108,15 +163,6 @@ impl ObjectDetector {
         }
 
         // Accumulate per-root statistics.
-        use std::collections::HashMap;
-        struct Acc {
-            min_x: usize,
-            min_y: usize,
-            max_x: usize,
-            max_y: usize,
-            area: usize,
-            intensity: u64,
-        }
         let mut blobs: HashMap<u32, Acc> = HashMap::new();
         for y in 0..height {
             for x in 0..width {
@@ -125,23 +171,21 @@ impl ObjectDetector {
                     continue;
                 }
                 let root = find(&mut parent, idx as u32);
-                let acc = blobs.entry(root).or_insert(Acc {
-                    min_x: x,
-                    min_y: y,
-                    max_x: x,
-                    max_y: y,
-                    area: 0,
-                    intensity: 0,
-                });
-                acc.min_x = acc.min_x.min(x);
-                acc.min_y = acc.min_y.min(y);
-                acc.max_x = acc.max_x.max(x);
-                acc.max_y = acc.max_y.max(y);
-                acc.area += 1;
-                acc.intensity += u64::from(pixels[idx]);
+                accumulate(&mut blobs, root, x, y, pixels[idx]);
             }
         }
 
+        self.summarise(blobs, width, height)
+    }
+
+    /// Blob statistics → reported objects (shared by both detect paths so
+    /// filtering, shape classification, and ordering stay identical).
+    fn summarise(
+        &self,
+        blobs: HashMap<u32, Acc>,
+        width: usize,
+        height: usize,
+    ) -> Vec<DetectedObject> {
         let mut out: Vec<DetectedObject> = blobs
             .into_values()
             .filter(|acc| acc.area >= self.min_area)
@@ -169,9 +213,56 @@ impl ObjectDetector {
                 }
             })
             .collect();
-        out.sort_by_key(|o| std::cmp::Reverse(o.area));
+        // Sort by area, then bbox, so the output order is deterministic
+        // regardless of hash-map iteration order.
+        out.sort_by(|a, b| {
+            b.area.cmp(&a.area).then_with(|| {
+                a.bbox
+                    .partial_cmp(&b.bbox)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        });
         out
     }
+}
+
+use std::collections::HashMap;
+
+/// Per-blob accumulator for the statistics pass.
+struct Acc {
+    min_x: usize,
+    min_y: usize,
+    max_x: usize,
+    max_y: usize,
+    area: usize,
+    intensity: u64,
+}
+
+fn accumulate(blobs: &mut HashMap<u32, Acc>, root: u32, x: usize, y: usize, pixel: u8) {
+    let acc = blobs.entry(root).or_insert(Acc {
+        min_x: x,
+        min_y: y,
+        max_x: x,
+        max_y: y,
+        area: 0,
+        intensity: 0,
+    });
+    acc.min_x = acc.min_x.min(x);
+    acc.min_y = acc.min_y.min(y);
+    acc.max_x = acc.max_x.max(x);
+    acc.max_y = acc.max_y.max(y);
+    acc.area += 1;
+    acc.intensity += u64::from(pixel);
+}
+
+/// Union-find root lookup with path halving.
+fn find(parent: &mut [u32], mut i: u32) -> u32 {
+    while parent[i as usize] != i {
+        let p = parent[i as usize];
+        parent[i as usize] = parent[p as usize];
+        i = parent[i as usize];
+    }
+    i
 }
 
 impl Default for ObjectDetector {
@@ -288,5 +379,59 @@ mod tests {
     fn empty_frame_detects_nothing() {
         let frame = FrameBuf::new(32, 32).freeze(0, 0);
         assert!(ObjectDetector::new().detect(&frame).is_empty());
+    }
+
+    #[test]
+    fn word_detect_matches_scalar_oracle() {
+        // Scenes covering shapes, touching blobs, specks below min_area,
+        // a skeleton-only frame, and a non-multiple-of-8 width so the word
+        // scan's remainder path runs.
+        let scenes: Vec<Frame> = vec![
+            render_objects(&[
+                SceneObject::Rect {
+                    x: 0.05,
+                    y: 0.05,
+                    w: 0.25,
+                    h: 0.2,
+                    intensity: 250,
+                },
+                SceneObject::Disc {
+                    cx: 0.7,
+                    cy: 0.3,
+                    r: 0.08,
+                    intensity: 240,
+                },
+                SceneObject::Rect {
+                    x: 0.7,
+                    y: 0.7,
+                    w: 0.1,
+                    h: 0.1,
+                    intensity: 245,
+                },
+            ]),
+            SceneRenderer::new(157, 113).render_scene(
+                &Pose::default(),
+                &[SceneObject::Disc {
+                    cx: 0.5,
+                    cy: 0.5,
+                    r: 0.2,
+                    intensity: 255,
+                }],
+                0,
+                0,
+            ),
+            SceneRenderer::new(160, 120).render(&Pose::default(), 0, 0),
+            FrameBuf::new(32, 32).freeze(0, 0),
+        ];
+        let detector = ObjectDetector::new();
+        for frame in &scenes {
+            assert_eq!(
+                detector.detect(frame),
+                detector.detect_scalar(frame),
+                "{}x{} scene diverged",
+                frame.width(),
+                frame.height()
+            );
+        }
     }
 }

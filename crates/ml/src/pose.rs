@@ -5,14 +5,21 @@
 //! keypoints."
 //!
 //! This implementation does honest raster work on the synthetic scenes
-//! rendered by `videopipe-media`: a first pass over every pixel finds the
-//! human's bounding box (any non-background pixel), a second pass inside the
-//! box accumulates per-joint blob centroids using the intensity-band coding.
-//! Sensor noise pushes pixels across band boundaries, so detection accuracy
-//! genuinely degrades with noise and small blobs can be missed — the
-//! detector returns per-joint confidences and an overall score.
+//! rendered by `videopipe-media`: it scans the raster for body pixels,
+//! finds the human's bounding box, and accumulates per-joint blob centroids
+//! using the intensity-band coding. Sensor noise pushes pixels across band
+//! boundaries, so detection accuracy genuinely degrades with noise and
+//! small blobs can be missed — the detector returns per-joint confidences
+//! and an overall score.
+//!
+//! The production path ([`PoseDetector::detect`]) is a word-wide fused
+//! kernel: one pass, 8 pixels per `u64` load, branchless threshold masks
+//! from [`videopipe_media::scan`], and an intensity → joint lookup table.
+//! The pre-kernel two-pass implementation stays available as the
+//! bit-identical [`PoseDetector::detect_scalar`] oracle.
 
-use crate::math::scalar_mean;
+use crate::math::{scalar_mean, FORCE_SCALAR};
+use videopipe_media::scan::scan_at_least;
 use videopipe_media::scene::{joint_for_intensity, JOINT_BAND_HALF_WIDTH};
 use videopipe_media::{Frame, Joint, Keypoint, Pose, JOINT_COUNT};
 
@@ -47,6 +54,9 @@ impl DetectedPose {
     }
 }
 
+/// Sentinel in the intensity → joint lookup table: "not a joint band".
+const NO_JOINT: u8 = 0xFF;
+
 /// Configuration and kernel of the pose detection service.
 #[derive(Debug, Clone)]
 pub struct PoseDetector {
@@ -57,16 +67,27 @@ pub struct PoseDetector {
     expected_blob_pixels: f32,
     /// Minimum overall score for a detection to be reported.
     min_score: f32,
+    /// Intensity → joint index lookup ([`NO_JOINT`] outside every band);
+    /// replaces the per-pixel `joint_for_intensity` banding arithmetic in
+    /// the word-wide scan.
+    joint_lut: [u8; 256],
 }
 
 impl PoseDetector {
     /// Creates a detector with defaults matched to the default scene
     /// renderer (joint radius = min(w, h) / 80).
     pub fn new() -> Self {
+        let mut joint_lut = [NO_JOINT; 256];
+        for (value, slot) in joint_lut.iter_mut().enumerate() {
+            if let Some(joint) = joint_for_intensity(value as u8) {
+                *slot = joint.index() as u8;
+            }
+        }
         PoseDetector {
             min_blob_pixels: 3,
             expected_blob_pixels: 28.0,
             min_score: 0.35,
+            joint_lut,
         }
     }
 
@@ -86,7 +107,77 @@ impl PoseDetector {
     ///
     /// Returns `None` when no plausible human is present — e.g. an empty or
     /// hopelessly noisy frame.
+    ///
+    /// This is the word-wide fused kernel: one pass over the raster, 8
+    /// pixels per `u64` load, with the branchless threshold mask from
+    /// [`videopipe_media::scan`] skipping background words and an intensity
+    /// → joint lookup table replacing the banding arithmetic on the (rare)
+    /// foreground pixels. Bounding box and per-joint centroids accumulate
+    /// together in that single pass. The result is **bit-identical** to
+    /// [`detect_scalar`]: the word scan replays matching pixels in row-major
+    /// order, the fusion is exact because every joint band starts at
+    /// `JOINT_BASE_INTENSITY - JOINT_BAND_HALF_WIDTH`, above the body
+    /// threshold (a joint pixel is always a body pixel, so it is always
+    /// inside the box the restricted scalar second pass would have scanned),
+    /// and the LUT reproduces `joint_for_intensity` for all 256 intensities.
+    ///
+    /// [`detect_scalar`]: PoseDetector::detect_scalar
     pub fn detect(&self, frame: &Frame) -> Option<DetectedPose> {
+        if FORCE_SCALAR {
+            return self.detect_scalar(frame);
+        }
+        let width = frame.width() as usize;
+        let height = frame.height() as usize;
+        let pixels = frame.pixels();
+
+        let mut min_x = usize::MAX;
+        let mut min_y = usize::MAX;
+        let mut max_x = 0usize;
+        let mut max_y = 0usize;
+        let mut body_pixels = 0usize;
+        let mut sum_x = [0f64; JOINT_COUNT];
+        let mut sum_y = [0f64; JOINT_COUNT];
+        let mut count = [0usize; JOINT_COUNT];
+        for y in 0..height {
+            let row = &pixels[y * width..(y + 1) * width];
+            scan_at_least(row, BODY_THRESHOLD, |x, p| {
+                body_pixels += 1;
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
+                let j = self.joint_lut[p as usize];
+                if j != NO_JOINT {
+                    let j = j as usize;
+                    sum_x[j] += x as f64;
+                    sum_y[j] += y as f64;
+                    count[j] += 1;
+                }
+            });
+        }
+        if body_pixels < self.min_blob_pixels * 4 || min_x > max_x || min_y > max_y {
+            return None;
+        }
+
+        self.finish(
+            width,
+            height,
+            (min_x, min_y, max_x, max_y),
+            body_pixels,
+            &sum_x,
+            &sum_y,
+            &count,
+        )
+    }
+
+    /// Scalar reference oracle for [`detect`]: the pre-kernel two-pass
+    /// implementation (bounding-box pass over every pixel, then a per-joint
+    /// centroid pass restricted to the box), branching on each pixel and
+    /// calling `joint_for_intensity` directly. Kept public so tests and the
+    /// benchmark can pin the word-wide kernel against it.
+    ///
+    /// [`detect`]: PoseDetector::detect
+    pub fn detect_scalar(&self, frame: &Frame) -> Option<DetectedPose> {
         let width = frame.width() as usize;
         let height = frame.height() as usize;
         let pixels = frame.pixels();
@@ -141,71 +232,13 @@ impl PoseDetector {
         )
     }
 
-    /// Detects poses in a batch of frames, one result per frame in order.
-    ///
-    /// The batch kernel folds the two per-pixel scans of [`detect`] into a
-    /// single fused pass per frame: the bounding box and the per-joint
-    /// centroids accumulate together, halving the raster traffic for the
-    /// whole batch. This is exact, not approximate — every joint band starts
-    /// at `JOINT_BASE_INTENSITY - JOINT_BAND_HALF_WIDTH`, well above the
-    /// body threshold, so a joint pixel is always a body pixel and therefore
-    /// always inside the box the restricted second pass would have scanned;
-    /// both kernels see identical pixels in identical (row-major) order and
-    /// produce bit-identical output.
+    /// Detects poses in a batch of frames, one result per frame in order —
+    /// each frame through the same word-wide fused kernel as [`detect`],
+    /// so batched and per-frame results are identical by construction.
     ///
     /// [`detect`]: PoseDetector::detect
     pub fn detect_batch(&self, frames: &[&Frame]) -> Vec<Option<DetectedPose>> {
-        frames
-            .iter()
-            .map(|frame| self.detect_fused(frame))
-            .collect()
-    }
-
-    /// The fused single-pass kernel behind [`PoseDetector::detect_batch`].
-    fn detect_fused(&self, frame: &Frame) -> Option<DetectedPose> {
-        let width = frame.width() as usize;
-        let height = frame.height() as usize;
-        let pixels = frame.pixels();
-
-        let mut min_x = usize::MAX;
-        let mut min_y = usize::MAX;
-        let mut max_x = 0usize;
-        let mut max_y = 0usize;
-        let mut body_pixels = 0usize;
-        let mut sum_x = [0f64; JOINT_COUNT];
-        let mut sum_y = [0f64; JOINT_COUNT];
-        let mut count = [0usize; JOINT_COUNT];
-        for y in 0..height {
-            let row = &pixels[y * width..(y + 1) * width];
-            for (x, &p) in row.iter().enumerate() {
-                if p >= BODY_THRESHOLD {
-                    body_pixels += 1;
-                    min_x = min_x.min(x);
-                    min_y = min_y.min(y);
-                    max_x = max_x.max(x);
-                    max_y = max_y.max(y);
-                    if let Some(joint) = joint_for_intensity(p) {
-                        let j = joint.index();
-                        sum_x[j] += x as f64;
-                        sum_y[j] += y as f64;
-                        count[j] += 1;
-                    }
-                }
-            }
-        }
-        if body_pixels < self.min_blob_pixels * 4 || min_x > max_x || min_y > max_y {
-            return None;
-        }
-
-        self.finish(
-            width,
-            height,
-            (min_x, min_y, max_x, max_y),
-            body_pixels,
-            &sum_x,
-            &sum_y,
-            &count,
-        )
+        frames.iter().map(|frame| self.detect(frame)).collect()
     }
 
     /// Everything after the pixel scans: centroids → keypoints, confidence,
@@ -403,11 +436,11 @@ mod tests {
     }
 
     #[test]
-    fn detect_batch_is_bit_identical_to_detect() {
+    fn word_detect_and_batch_are_bit_identical_to_scalar_oracle() {
         use videopipe_media::scene::{joint_intensity, JOINT_BAND_HALF_WIDTH};
         // The fused kernel's exactness argument requires every joint band to
         // sit above the body threshold; pin that invariant here so a future
-        // retune of the scene constants can't silently break the batch path.
+        // retune of the scene constants can't silently break the fused path.
         for joint in Joint::ALL {
             assert!(joint_intensity(joint) - JOINT_BAND_HALF_WIDTH >= BODY_THRESHOLD);
         }
@@ -420,20 +453,36 @@ mod tests {
             .iter()
             .map(|&phase| renderer.render(&clip.pose_at_phase(phase), 0, 0))
             .collect();
-        // Include a noisy frame, an empty frame (None), and a half
-        // off-screen pose so every finish() branch is compared.
+        // Include noisy frames (light and heavy, so joint bands get both
+        // diluted and crossed), an empty frame (None), a half off-screen
+        // pose, and a non-multiple-of-8 width so the word scan's remainder
+        // path runs — every finish() branch is compared.
         frames.push(renderer.render_noisy(&Pose::default(), 8.0, &mut rng, 0, 0));
         frames.push(FrameBuf::new(320, 240).freeze(0, 0));
         frames.push(renderer.render(&Pose::default().translated(0.45, 0.0), 0, 0));
+        frames.push(renderer.render_noisy(&Pose::default(), 40.0, &mut rng, 0, 0));
+        frames.push(SceneRenderer::new(157, 113).render(&Pose::default(), 0, 0));
 
         let refs: Vec<&Frame> = frames.iter().collect();
         let batched = detector.detect_batch(&refs);
         assert_eq!(batched.len(), frames.len());
         for (frame, batched) in frames.iter().zip(&batched) {
+            let scalar = detector.detect_scalar(frame);
             assert_eq!(batched, &detector.detect(frame));
+            assert_eq!(batched, &scalar, "word kernel diverged from oracle");
         }
         assert!(batched[5].is_none(), "empty frame must stay undetected");
         assert!(detector.detect_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn joint_lut_matches_joint_for_intensity_everywhere() {
+        let detector = PoseDetector::new();
+        for v in 0..=255u8 {
+            let expected = joint_for_intensity(v).map(|j| j.index() as u8);
+            let got = detector.joint_lut[v as usize];
+            assert_eq!(got, expected.unwrap_or(NO_JOINT), "intensity {v}");
+        }
     }
 
     #[test]

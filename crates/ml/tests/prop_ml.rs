@@ -3,11 +3,20 @@
 use proptest::prelude::*;
 use videopipe_ml::kmeans::KMeans;
 use videopipe_ml::knn::{KdTree, KnnClassifier};
-use videopipe_ml::math::{iou, squared_distance};
+use videopipe_ml::math::{
+    axpy, axpy_scalar, distances_into, distances_into_scalar, dot, dot_scalar, iou, mean,
+    mean_scalar, squared_distance, squared_distance_scalar,
+};
 use videopipe_ml::reps::{RepCounter, RepCounterModel};
 
 fn arb_points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
     proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, dim), n)
+}
+
+/// NaN-free random vectors whose lengths straddle the 8-lane block size
+/// (empty, single-element, and non-multiple-of-8 lengths all appear).
+fn arb_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, 0..max_len)
 }
 
 proptest! {
@@ -104,5 +113,92 @@ proptest! {
         let knn = KnnClassifier::fit(k, samples, labels.clone()).unwrap();
         let prediction = knn.predict(&query).unwrap();
         prop_assert!(labels.iter().any(|l| l == prediction));
+    }
+
+    /// Blocked squared-distance and dot kernels stay ε-close to their
+    /// scalar oracles for any NaN-free vectors (only the reduction order
+    /// differs, so the error is bounded by a few ULPs of the magnitudes).
+    #[test]
+    fn blocked_reductions_match_scalar_oracles(pair in arb_vec(40).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), proptest::collection::vec(-100.0f32..100.0, n))
+    })) {
+        let (a, b) = pair;
+        let eps = 1e-3 * (1.0 + a.len() as f32 * 1e4);
+        prop_assert!((squared_distance(&a, &b) - squared_distance_scalar(&a, &b)).abs() <= eps);
+        prop_assert!((dot(&a, &b) - dot_scalar(&a, &b)).abs() <= eps);
+    }
+
+    /// Blocked axpy is bit-identical to its scalar oracle: the per-element
+    /// operation is unchanged, only the loop is unrolled.
+    #[test]
+    fn blocked_axpy_is_bit_identical(pair in arb_vec(40).prop_flat_map(|x| {
+        let n = x.len();
+        (Just(x), proptest::collection::vec(-100.0f32..100.0, n))
+    }), alpha in -10.0f32..10.0) {
+        let (x, y0) = pair;
+        let mut fast = y0.clone();
+        let mut oracle = y0;
+        axpy(alpha, &x, &mut fast);
+        axpy_scalar(alpha, &x, &mut oracle);
+        prop_assert_eq!(fast, oracle);
+    }
+
+    /// Blocked mean is bit-identical to its scalar oracle: each column is
+    /// an independent f64 sum accumulated in the same vector order.
+    #[test]
+    fn blocked_mean_is_bit_identical(vectors in (0usize..30).prop_flat_map(|dim| {
+        proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, dim), 0..10)
+    })) {
+        prop_assert_eq!(mean(&vectors), mean_scalar(&vectors));
+    }
+
+    /// The fused distance-matrix kernel obeys its documented ε policy
+    /// against the direct per-pair scalar oracle:
+    /// |d − d_scalar| ≤ 1e-3 · (1 + ‖a‖² + ‖b‖²), and never negative.
+    #[test]
+    fn distance_matrix_matches_scalar_within_policy(matrices in (1usize..20).prop_flat_map(|dim| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, dim), 0..8),
+            proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, dim), 1..8),
+        )
+    })) {
+        let (queries, points) = matrices;
+        let mut fast = Vec::new();
+        let mut oracle = Vec::new();
+        distances_into(&queries, &points, &mut fast);
+        distances_into_scalar(&queries, &points, &mut oracle);
+        prop_assert_eq!(fast.len(), oracle.len());
+        for (qi, q) in queries.iter().enumerate() {
+            for (pi, p) in points.iter().enumerate() {
+                let i = qi * points.len() + pi;
+                prop_assert!(fast[i] >= 0.0);
+                let eps = 1e-3 * (1.0 + dot(q, q) + dot(p, p));
+                prop_assert!((fast[i] - oracle[i]).abs() <= eps,
+                    "pair ({}, {}): {} vs {}", qi, pi, fast[i], oracle[i]);
+            }
+        }
+    }
+
+    /// The leaf-bucketed KD-tree finds neighbours at the same distances as
+    /// the scalar brute-force oracle, across datasets large enough to force
+    /// several leaf splits (the leaf scan runs the blocked kernel, so this
+    /// pins tree pruning AND the new distance kernel at once).
+    #[test]
+    fn kdtree_leaf_scan_matches_scalar_brute_force(samples in arb_points(4, 1..120), query in proptest::collection::vec(-100.0f32..100.0, 4), k in 1usize..6) {
+        let labels = vec!["x".to_string(); samples.len()];
+        let knn = KnnClassifier::fit(k, samples.clone(), labels).unwrap();
+        prop_assert!(knn.uses_kdtree());
+        let tree_hits = knn.neighbours(&query).unwrap();
+        let brute_hits = knn.brute_force_scalar(&query);
+        let d = |idx: &usize| squared_distance_scalar(&query, &samples[*idx]);
+        let mut td: Vec<f32> = tree_hits.iter().map(d).collect();
+        let mut bd: Vec<f32> = brute_hits.iter().map(d).collect();
+        td.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(td.len(), bd.len());
+        for (a, b) in td.iter().zip(bd.iter()) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "tree {} vs brute {}", a, b);
+        }
     }
 }

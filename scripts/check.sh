@@ -100,6 +100,77 @@ if ! mttr_gate target/bench_smoke.json; then
         --quick --out target/bench_smoke.json
     mttr_gate target/bench_smoke.json
 fi
+
+echo "==> ML kernel speedup floors (vs committed BENCH_PR5.json, 20% slack)"
+# Unlike the codec gate, this one floors the word/scalar *speedup ratio*
+# rather than absolute throughput: quick-mode absolute numbers on a shared
+# single-core runner swing +/-30% with load, but scalar and word kernels
+# slow down together, so the ratio cancels runner speed. A real regression
+# (lost autovectorization, a fallback to the scalar path) drags the ratio
+# toward 1.0 and trips the floor regardless of how fast the runner is.
+ml_gate() { # ml_gate SNAPSHOT -> 0 if every kernel cell clears the floor
+    local snapshot="$1"
+    for cell in pose distance kmeans_assign knn; do
+        floor=$(extract BENCH_PR5.json "$cell" speedup_x)
+        now=$(extract "$snapshot" "$cell" speedup_x)
+        awk -v floor="$floor" -v now="$now" -v name="ml.$cell.speedup_x" 'BEGIN {
+            if (floor == "" || now == "") {
+                printf "FAIL: %s missing from snapshot or baseline\n", name
+                exit 1
+            }
+            limit = floor * 0.8
+            if (now + 0 < limit) {
+                printf "FAIL: %s regressed: %.2fx < 80%% of committed %.2fx\n", name, now, floor
+                exit 1
+            }
+            printf "ok: %s %.2fx (floor %.2fx)\n", name, now, limit
+        }' || return 1
+    done
+}
+if ! ml_gate target/bench_smoke.json; then
+    echo "floor missed; re-measuring once to rule out a cold start"
+    cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
+        --quick --out target/bench_smoke.json
+    ml_gate target/bench_smoke.json
+fi
+
+echo "==> saturated batched dispatch floor (vs committed BENCH_PR3.json)"
+# Extracting throughput_rps from the one-line "saturated" cell picks the
+# LAST occurrence on the line (awk's greedy .*), i.e. the batch=8 number.
+# The committed baseline is a full-mode (2 s per cell) measurement while
+# the smoke run is quick mode (700 ms per cell), where warm-up eats a much
+# larger share — so the floor is 50% of the committed throughput. That is
+# still well above what a broken batching path can reach: unbatched
+# quick-mode dispatch saturates near a third of the committed batch=8
+# number, so losing the amortisation trips this gate.
+sat_gate() { # sat_gate SNAPSHOT -> 0 if batch=8 saturated throughput holds
+    local snapshot="$1"
+    baseline=$(extract BENCH_PR3.json saturated throughput_rps)
+    now=$(extract "$snapshot" saturated throughput_rps)
+    awk -v baseline="$baseline" -v now="$now" 'BEGIN {
+        if (baseline == "" || now == "") {
+            printf "FAIL: saturated.batch8.throughput_rps missing from snapshot or baseline\n"
+            exit 1
+        }
+        limit = baseline * 0.5
+        if (now + 0 < limit) {
+            printf "FAIL: saturated batch=8 dispatch regressed: %.0f req/s < 50%% of committed %.0f req/s\n", now, baseline
+            exit 1
+        }
+        printf "ok: saturated batch=8 dispatch %.0f req/s (floor %.0f)\n", now, limit
+    }' || return 1
+}
+if ! sat_gate target/bench_smoke.json; then
+    echo "floor missed; re-measuring once to rule out a cold start"
+    cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
+        --quick --out target/bench_smoke.json
+    sat_gate target/bench_smoke.json
+fi
 rm -f target/bench_smoke.json
+
+echo "==> ml scalar-oracle routing (--features force-scalar)"
+# One pass of the ml suite with every dispatching kernel routed through its
+# scalar oracle: proves the fallback path stays green, not just compiled.
+cargo test -q -p videopipe-ml --features force-scalar
 
 echo "All checks passed."
