@@ -8,9 +8,11 @@
 use crate::modules::{FallAlertModule, PoseDetectionModule, VideoStreamingModule};
 use crate::services::PoseDetectorService;
 use std::sync::Arc;
+use std::time::Duration;
 use videopipe_core::deploy::{plan, DeploymentPlan, DeviceSpec, Placement};
 use videopipe_core::module::ModuleRegistry;
 use videopipe_core::service::ServiceRegistry;
+use videopipe_core::slo::{Knob, SloConfig};
 use videopipe_core::spec::{ModuleSpec, PipelineSpec};
 use videopipe_core::PipelineError;
 use videopipe_media::motion::{ExerciseKind, MotionClip};
@@ -80,6 +82,21 @@ pub fn module_registry(seed: u64, fall_duration_s: f64) -> ModuleRegistry {
     registry
 }
 
+/// The fall app's SLO degradation priorities. Fall detection is
+/// safety-critical: a missed fall is the worst outcome, so the lattice
+/// **never sheds frames**. Pressure is absorbed by batching the pose
+/// service first (throughput for a little latency), then trading codec
+/// quality (the pose detector tolerates coarse quantisation), and only
+/// then halving the sampling rate — a fall spans many frames, so 2×
+/// subsampling still observes it.
+pub fn slo_config(target_p99: Duration) -> SloConfig {
+    SloConfig::p99(target_p99).with_lattice(vec![
+        Knob::Batch { max_batch: 4 },
+        Knob::CodecQuality { shift: 4 },
+        Knob::SampleRate { divisor: 2 },
+    ])
+}
+
 /// Service registry (pose detector only).
 pub fn service_registry() -> ServiceRegistry {
     let mut services = ServiceRegistry::new();
@@ -96,6 +113,18 @@ mod tests {
         let plan = videopipe_plan().unwrap();
         assert_eq!(plan.remote_binding_count(), 0);
         assert_eq!(plan.pipeline.depth(), 3);
+    }
+
+    #[test]
+    fn slo_preset_never_sheds() {
+        let cfg = slo_config(Duration::from_millis(200));
+        cfg.validate().unwrap();
+        assert!(
+            !cfg.lattice.iter().any(|k| matches!(k, Knob::Shed { .. })),
+            "fall detection must never shed frames: {:?}",
+            cfg.lattice
+        );
+        assert!(matches!(cfg.lattice[0], Knob::Batch { .. }));
     }
 
     #[test]

@@ -22,9 +22,11 @@ use crate::services::{
 };
 use crate::training::trained_fitness_classifier;
 use std::sync::Arc;
+use std::time::Duration;
 use videopipe_core::deploy::{plan, DeploymentPlan, DeviceSpec, Placement};
 use videopipe_core::module::ModuleRegistry;
 use videopipe_core::service::ServiceRegistry;
+use videopipe_core::slo::{Knob, SloConfig};
 use videopipe_core::spec::{ModuleSpec, PipelineSpec};
 use videopipe_core::PipelineError;
 use videopipe_media::motion::{ExerciseKind, MotionClip};
@@ -119,6 +121,23 @@ pub fn devices() -> Vec<DeviceSpec> {
             .with_containers(1)
             .with_service(DisplayService::NAME),
     ]
+}
+
+/// The fitness app's SLO degradation priorities. The consumer is a human
+/// watching guidance on the TV: mild codec degradation is nearly invisible
+/// there, so quality goes first (it also shrinks the phone→desktop frame
+/// transfer, the Fig. 6 bottleneck), then pose-service batching. Dropping
+/// to half the frame rate is the next resort — rep counting survives it —
+/// and shedding is last, because a workout with a frozen display is the
+/// worst experience of the four.
+pub fn slo_config(target_p99: Duration) -> SloConfig {
+    SloConfig::p99(target_p99).with_lattice(vec![
+        Knob::CodecQuality { shift: 4 },
+        Knob::CodecQuality { shift: 6 },
+        Knob::Batch { max_batch: 4 },
+        Knob::SampleRate { divisor: 2 },
+        Knob::Shed { keep_one_in: 4 },
+    ])
 }
 
 /// The VideoPipe placement (Fig. 4): modules co-located with their

@@ -14,9 +14,11 @@ use crate::modules::{
 use crate::services::{ActivityClassifierService, PoseDetectorService};
 use crate::training::trained_gesture_classifier;
 use std::sync::Arc;
+use std::time::Duration;
 use videopipe_core::deploy::{plan, DeploymentPlan, DeviceSpec, Placement};
 use videopipe_core::module::ModuleRegistry;
 use videopipe_core::service::ServiceRegistry;
+use videopipe_core::slo::{Knob, SloConfig};
 use videopipe_core::spec::{ModuleSpec, PipelineSpec};
 use videopipe_core::PipelineError;
 use videopipe_media::motion::{ExerciseKind, MotionClip};
@@ -92,6 +94,21 @@ pub fn plan_on_fitness_devices() -> Result<DeploymentPlan, PipelineError> {
     plan(&pipeline_spec(), &devices, &videopipe_placement())
 }
 
+/// The gesture app's SLO degradation priorities — the inverse of the
+/// fitness app's. A gesture spans a couple of seconds, so halving or
+/// quartering the frame rate first costs almost nothing; codec quality
+/// comes later because the classifier eats quantisation noise long before
+/// a human does, and only a mild shift (4) is allowed. A moderate shed
+/// rung closes the lattice: a missed wave merely means waving again.
+pub fn slo_config(target_p99: Duration) -> SloConfig {
+    SloConfig::p99(target_p99).with_lattice(vec![
+        Knob::SampleRate { divisor: 2 },
+        Knob::SampleRate { divisor: 4 },
+        Knob::CodecQuality { shift: 4 },
+        Knob::Shed { keep_one_in: 2 },
+    ])
+}
+
 /// Module registry: a user waving/clapping in front of the camera.
 pub fn module_registry(seed: u64, gesture: ExerciseKind, hub: Arc<IotHub>) -> ModuleRegistry {
     let mut registry = ModuleRegistry::new();
@@ -145,6 +162,22 @@ mod tests {
         let plan = videopipe_plan().unwrap();
         assert_eq!(plan.remote_binding_count(), 0);
         assert_eq!(plan.pipeline.sinks().len(), 1);
+    }
+
+    #[test]
+    fn slo_priorities_are_the_inverse_of_fitness() {
+        let target = Duration::from_millis(200);
+        let gesture = slo_config(target);
+        let fitness = crate::fitness::slo_config(target);
+        gesture.validate().unwrap();
+        fitness.validate().unwrap();
+        // Gesture drops frame rate first (a wave spans seconds); fitness
+        // trades codec quality first (a human is watching the TV).
+        assert!(matches!(gesture.lattice[0], Knob::SampleRate { .. }));
+        assert!(matches!(fitness.lattice[0], Knob::CodecQuality { .. }));
+        // Both end in shedding, the last resort of the lattice ordering.
+        assert!(matches!(gesture.lattice.last(), Some(Knob::Shed { .. })));
+        assert!(matches!(fitness.lattice.last(), Some(Knob::Shed { .. })));
     }
 
     #[test]

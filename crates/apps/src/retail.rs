@@ -13,6 +13,7 @@ use videopipe_core::deploy::{plan, DeploymentPlan, DeviceSpec, Placement};
 use videopipe_core::message::Payload;
 use videopipe_core::module::{Event, Module, ModuleCtx, ModuleRegistry};
 use videopipe_core::service::{ServiceRegistry, ServiceRequest};
+use videopipe_core::slo::{Knob, SloConfig};
 use videopipe_core::spec::{ModuleSpec, PipelineSpec};
 use videopipe_core::PipelineError;
 use videopipe_media::motion::{ExerciseKind, MotionClip};
@@ -284,11 +285,38 @@ pub fn service_registry() -> ServiceRegistry {
     services
 }
 
+/// The retail app's SLO degradation priorities. The IoU tracker loses
+/// tracks when consecutive observations are too far apart, so **sampling
+/// is never reduced** — a skipped frame is a potential missed purchase.
+/// Quality goes first (the detector thresholds coarse intensity anyway),
+/// then detector batching (the edge server has four containers to fill),
+/// and only under extreme pressure a conservative 1-in-4 shed.
+pub fn slo_config(target_p99: std::time::Duration) -> SloConfig {
+    SloConfig::p99(target_p99).with_lattice(vec![
+        Knob::CodecQuality { shift: 4 },
+        Knob::Batch { max_batch: 8 },
+        Knob::Shed { keep_one_in: 4 },
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::time::Duration;
     use videopipe_sim::{Scenario, SimProfile};
+
+    #[test]
+    fn slo_preset_never_subsamples() {
+        let cfg = slo_config(Duration::from_millis(200));
+        cfg.validate().unwrap();
+        assert!(
+            !cfg.lattice
+                .iter()
+                .any(|k| matches!(k, Knob::SampleRate { .. })),
+            "the IoU tracker cannot survive subsampling: {:?}",
+            cfg.lattice
+        );
+    }
 
     #[test]
     fn plan_is_valid() {

@@ -8,10 +8,16 @@
 //! reproduced by [`rep_counter_accuracy`], which counts synthetic rep
 //! sequences under pose jitter and scores exact-count trials.
 
-use videopipe_media::motion::ExerciseKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use videopipe_media::codec::{self, Quality};
+use videopipe_media::motion::{ExerciseKind, MotionClip};
+use videopipe_media::scene::SceneRenderer;
 use videopipe_ml::activity::{ActivityModel, ActivityRecognizer};
 use videopipe_ml::dataset::{generate_rep_sequence, generate_windows, DatasetConfig};
+use videopipe_ml::features::WINDOW_LEN;
 use videopipe_ml::reps::count_sequence;
+use videopipe_ml::PoseDetector;
 
 /// Trains the fitness activity classifier (five exercise classes).
 pub fn trained_fitness_classifier(seed: u64) -> ActivityModel {
@@ -43,6 +49,65 @@ pub fn activity_test_accuracy(classes: &[ExerciseKind], seed: u64) -> f32 {
         ..DatasetConfig::default()
     };
     ActivityRecognizer::train_synthetic(classes, &config).test_accuracy()
+}
+
+/// The §4.1.2 protocol evaluated *through the codec*: each test window is
+/// rendered to frames, encode→decode roundtripped at `quality`, and the
+/// poses re-detected from the decoded rasters before classification. The
+/// model itself is trained exactly as [`activity_test_accuracy`] trains it
+/// (on clean poses); only the evaluation path carries the transport, so
+/// the delta against the clean number prices the SLO controller's
+/// codec-quality knob rather than hand-waving it.
+///
+/// `windows_per_class` trades evaluation fidelity for runtime (the bench
+/// quick mode shrinks it).
+pub fn activity_test_accuracy_at_quality(
+    classes: &[ExerciseKind],
+    seed: u64,
+    quality: Quality,
+    windows_per_class: usize,
+) -> f32 {
+    let config = DatasetConfig {
+        seed,
+        ..DatasetConfig::default()
+    };
+    let model = ActivityRecognizer::train_synthetic(classes, &config)
+        .model()
+        .clone();
+    let renderer = SceneRenderer::new(320, 240);
+    let detector = PoseDetector::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DEC);
+    let dt_ns = (1e9 / config.fps).round() as u64;
+    let mut correct = 0u32;
+    let mut total = 0u32;
+    for &class in classes {
+        for _ in 0..windows_per_class {
+            let period = rng.gen_range(config.period_range.0..config.period_range.1);
+            let clip = MotionClip::new(class, period).with_jitter(config.jitter);
+            let start_ns = rng.gen_range(0..(period * 1e9) as u64);
+            let truth = clip.sample_sequence(start_ns, dt_ns, WINDOW_LEN, &mut rng);
+            let mut window = Vec::with_capacity(WINDOW_LEN);
+            for (i, pose) in truth.iter().enumerate() {
+                let frame = renderer.render(pose, i as u64, start_ns + i as u64 * dt_ns);
+                let decoded =
+                    codec::decode(&codec::encode(&frame, quality)).expect("codec roundtrip");
+                // A misdetection repeats the last usable pose — the
+                // classifier pays for the frozen frame, exactly as the
+                // live pipeline would.
+                let recovered = detector
+                    .detect(&decoded)
+                    .map(|d| d.pose)
+                    .or_else(|| window.last().cloned())
+                    .unwrap_or_default();
+                window.push(recovered);
+            }
+            total += 1;
+            if model.classify_window(&window).as_deref() == Some(class.label()) {
+                correct += 1;
+            }
+        }
+    }
+    correct as f32 / total.max(1) as f32
 }
 
 /// Per-class test accuracy, for the accuracy-evaluation bench.
@@ -164,6 +229,22 @@ mod tests {
             (0.6..=0.95).contains(&report.accuracy),
             "accuracy {} should be imperfect but usable (paper: 83.3%)",
             report.accuracy
+        );
+    }
+
+    #[test]
+    fn codec_quality_costs_accuracy_not_more_than_clean() {
+        // Default quality (shift 2) preserves the joint bands, so the
+        // end-to-end number stays usable; the deep SLO rung (shift 6)
+        // may cost accuracy but can never gain it.
+        let clean =
+            activity_test_accuracy_at_quality(&ExerciseKind::GESTURES, 42, Quality::default(), 6);
+        let degraded =
+            activity_test_accuracy_at_quality(&ExerciseKind::GESTURES, 42, Quality::new(6), 6);
+        assert!(clean > 0.5, "clean end-to-end accuracy {clean}");
+        assert!(
+            degraded <= clean,
+            "quantisation cannot add information: {degraded} > {clean}"
         );
     }
 

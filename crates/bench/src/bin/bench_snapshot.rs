@@ -9,9 +9,12 @@
 //! service-dispatch saturation sweep (offered load × batch setting) —
 //! plus the self-healing failover MTTR cell (a deterministic sim crashes
 //! a mid-pipeline device and the recovery timeline is reported in
-//! virtual time) — and writes the results to `BENCH_PR5.json` (override
-//! with `--out`). `--quick` shrinks iteration counts so the run doubles
-//! as a CI smoke test.
+//! virtual time) and the SLO-controller spike cell (a 10× flash crowd
+//! with the degradation controller on vs the same config in shadow mode,
+//! with the quality knob's accuracy cost measured end-to-end) — and
+//! writes the results to `BENCH_PR6.json` (override with `--out`).
+//! `--quick` shrinks iteration counts so the run doubles as a CI smoke
+//! test.
 //!
 //! Run with `scripts/bench_snapshot.sh` or directly:
 //! `cargo run --release -p videopipe-bench --bin bench_snapshot -- --quick`
@@ -19,6 +22,7 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use videopipe_apps::training;
 use videopipe_core::deploy::{plan, DeviceSpec, Placement};
 use videopipe_core::message::Payload;
 use videopipe_core::module::{Event, Module, ModuleCtx, ModuleRegistry};
@@ -26,12 +30,13 @@ use videopipe_core::runtime::{BatchConfig, LocalRuntime, RuntimeConfig};
 use videopipe_core::service::{
     Service, ServiceCost, ServiceRegistry, ServiceRequest, ServiceResponse,
 };
+use videopipe_core::slo::{Knob, SloConfig};
 use videopipe_core::spec::{ModuleSpec, PipelineSpec};
 use videopipe_core::PipelineError;
 use videopipe_media::scene::SceneRenderer;
 use videopipe_media::{codec, FrameStore, Pose};
 use videopipe_net::{InprocHub, MsgReceiver, MsgSender, WireMessage};
-use videopipe_sim::{FailoverConfig, FaultPlan, Scenario, SimProfile};
+use videopipe_sim::{FailoverConfig, FaultPlan, LoadPlan, Scenario, SimProfile};
 
 struct Args {
     quick: bool,
@@ -41,7 +46,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR6.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -854,6 +859,155 @@ fn mttr_section(out: &mut String) {
     );
 }
 
+/// Worker for the SLO spike cell: one 40 ms service call per frame.
+struct SloWork;
+impl Module for SloWork {
+    fn on_event(&mut self, event: Event, ctx: &mut dyn ModuleCtx) -> Result<(), PipelineError> {
+        if let Event::Message(msg) = event {
+            let resp = ctx.call_service("slow", ServiceRequest::new("go", msg.payload))?;
+            ctx.call_module("sink", resp.payload)?;
+        }
+        Ok(())
+    }
+}
+
+/// The 40 ms (reference-speed) service the flash crowd saturates.
+struct SloSlow;
+impl Service for SloSlow {
+    fn name(&self) -> &str {
+        "slow"
+    }
+    fn handle(
+        &self,
+        _request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        Ok(ServiceResponse::new(Payload::Count(1)))
+    }
+    fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+        ServiceCost::flat(Duration::from_millis(40))
+    }
+}
+
+/// One arm of the SLO spike experiment: a 5 fps pipeline with 8 credits
+/// against a single-instance 40 ms service, hit by a 10× flash crowd from
+/// t = 20 s to t = 40 s of a 60 s virtual-time run. `actuate` selects the
+/// controller arm; `false` runs the same controllers in shadow mode (the
+/// static configuration), so both arms report identical windowed p99
+/// telemetry.
+fn slo_run(actuate: bool) -> videopipe_sim::ScenarioReport {
+    let spec = PipelineSpec::new("slo")
+        .with_module(ModuleSpec::new("src", "FoSrc").with_next("work"))
+        .with_module(
+            ModuleSpec::new("work", "SloWork")
+                .with_service("slow")
+                .with_next("sink"),
+        )
+        .with_module(ModuleSpec::new("sink", "FoSink"));
+    let devices = vec![DeviceSpec::new("dev", 1.0)
+        .with_containers(1)
+        .with_service("slow")];
+    let placement = Placement::new()
+        .assign("src", "dev")
+        .assign("work", "dev")
+        .assign("sink", "dev");
+    let deployed = plan(&spec, &devices, &placement).expect("slo plan");
+
+    let mut modules = ModuleRegistry::new();
+    modules.register("FoSrc", || Box::new(FoSrc));
+    modules.register("SloWork", || Box::new(SloWork));
+    modules.register("FoSink", || Box::new(FoSink));
+    let mut services = ServiceRegistry::new();
+    services.install(Arc::new(SloSlow));
+
+    let mut profile = SimProfile::deterministic().with_seed(6);
+    profile
+        .module_cost
+        .insert("FoSrc".into(), Duration::from_millis(10));
+    profile.camera_recovery = Duration::from_millis(10);
+    profile.service_cost.clear(); // use Service::cost (40 ms)
+
+    let mut scenario = Scenario::new(profile);
+    let h = scenario
+        .add_pipeline(&deployed, &modules, &services, 5.0, 8)
+        .expect("add slo pipeline");
+    scenario.set_load(
+        h,
+        LoadPlan::flat().with_flash_crowd(Duration::from_secs(20), Duration::from_secs(20), 10.0),
+    );
+    // p99 ≤ 150 ms judged every 500 ms with a 1 s dwell; relax_headroom
+    // 0.4 puts the relax threshold below the healthy latency reading so
+    // the controller degrades and holds instead of oscillating.
+    let mut cfg = SloConfig::p99(Duration::from_millis(150))
+        .with_interval(Duration::from_millis(500))
+        .with_dwell(Duration::from_secs(1))
+        .with_lattice(vec![
+            Knob::CodecQuality { shift: 6 },
+            Knob::SampleRate { divisor: 2 },
+            Knob::SampleRate { divisor: 4 },
+            Knob::Shed { keep_one_in: 2 },
+        ]);
+    cfg.relax_headroom = 0.4;
+    cfg.min_window = 2;
+    if actuate {
+        scenario.enable_slo(cfg);
+    } else {
+        scenario.observe_slo(cfg);
+    }
+    scenario.run(Duration::from_secs(60))
+}
+
+/// SLO-controller spike cell: the flash-crowd scenario with the controller
+/// on vs the same static configuration in shadow mode, in deterministic
+/// virtual time, plus the accuracy price of the controller's deepest
+/// codec-quality rung measured with the §4.1.2 eval harness end-to-end
+/// through the codec (not hand-waved from the shift value).
+fn slo_section(quick: bool, out: &mut String) {
+    let on = slo_run(true);
+    let off = slo_run(false);
+    let slo_ms = 150.0;
+    // Spike steady state: the controller has had ≥ 6 s to react.
+    let spike_from = Duration::from_secs(26);
+    let spike_until = Duration::from_secs(40);
+    let spike_on = on.max_window_p99_ms(spike_from, spike_until);
+    let spike_off = off.max_window_p99_ms(spike_from, spike_until);
+    // Pre-spike low load: both arms must be flat (the controller idles).
+    let low_on = on.max_window_p99_ms(Duration::from_secs(5), Duration::from_secs(20));
+    let low_off = off.max_window_p99_ms(Duration::from_secs(5), Duration::from_secs(20));
+    let summary = &on.slo[0];
+
+    // Accuracy price of the quality knob, end-to-end through the codec:
+    // the baseline default (shift 2), the per-app presets' mild rung
+    // (shift 4), and the rung this lattice engaged (shift 6).
+    let windows = if quick { 6 } else { 12 };
+    let kinds = videopipe_media::motion::ExerciseKind::FITNESS;
+    let acc_base =
+        training::activity_test_accuracy_at_quality(&kinds, 42, codec::Quality::default(), windows);
+    let acc_shift4 =
+        training::activity_test_accuracy_at_quality(&kinds, 42, codec::Quality::new(4), windows);
+    let acc_shift6 =
+        training::activity_test_accuracy_at_quality(&kinds, 42, codec::Quality::new(6), windows);
+    let acc_cost_pts = (acc_base - acc_shift6) * 100.0;
+
+    println!(
+        "slo spike (10x crowd, p99 target {slo_ms:.0} ms): controller worst window \
+         {spike_on:.1} ms vs static {spike_off:.1} ms (level {}, {} moves, {} flaps)",
+        summary.level, summary.moves, summary.flaps
+    );
+    println!(
+        "slo low load: controller {low_on:.1} ms vs static {low_off:.1} ms; quality-knob \
+         accuracy {:.1}% (shift 2) -> {:.1}% (shift 4) -> {:.1}% (shift 6, {acc_cost_pts:+.1} pts)",
+        acc_base * 100.0,
+        acc_shift4 * 100.0,
+        acc_shift6 * 100.0
+    );
+    let _ = writeln!(
+        out,
+        r#"  "slo": {{"slo_ms": {slo_ms:.0}, "spike_p99_on_ms": {spike_on:.1}, "spike_p99_off_ms": {spike_off:.1}, "low_load_p99_on_ms": {low_on:.1}, "low_load_p99_off_ms": {low_off:.1}, "level": {}, "moves": {}, "flaps": {}, "accuracy_baseline": {acc_base:.3}, "accuracy_shift4": {acc_shift4:.3}, "accuracy_shift6": {acc_shift6:.3}, "accuracy_cost_pts": {acc_cost_pts:.1}}},"#,
+        summary.level, summary.moves, summary.flaps,
+    );
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -869,6 +1023,7 @@ fn main() {
     roundtrip_section(args.quick, &mut json);
     executor_section(args.quick, &mut json);
     mttr_section(&mut json);
+    slo_section(args.quick, &mut json);
     saturation_section(args.quick, &mut json);
     json.push_str("}\n");
     std::fs::write(&args.out, &json).expect("write snapshot json");

@@ -17,6 +17,14 @@ pub enum PipelineError {
     },
     /// A pipeline spec failed validation.
     Validation(String),
+    /// A runtime configuration value failed deploy-time validation (e.g.
+    /// `fps <= 0`, zero credits, a zero-sized batch, inverted SLO bounds).
+    InvalidConfig {
+        /// The offending configuration field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
     /// Deployment planning failed (placement, capability or wiring error).
     Deploy(String),
     /// A module referenced a service that is not reachable from its device.
@@ -71,6 +79,9 @@ impl fmt::Display for PipelineError {
                 write!(f, "config parse error at line {line}: {reason}")
             }
             PipelineError::Validation(reason) => write!(f, "invalid pipeline: {reason}"),
+            PipelineError::InvalidConfig { field, reason } => {
+                write!(f, "invalid runtime config ({field}): {reason}")
+            }
             PipelineError::Deploy(reason) => write!(f, "deployment failed: {reason}"),
             PipelineError::ServiceUnavailable { module, service } => {
                 write!(f, "module {module:?} cannot reach service {service:?}")
@@ -129,6 +140,10 @@ mod tests {
                 reason: "x".into(),
             },
             PipelineError::Validation("v".into()),
+            PipelineError::InvalidConfig {
+                field: "fps",
+                reason: "r".into(),
+            },
             PipelineError::Deploy("d".into()),
             PipelineError::ServiceUnavailable {
                 module: "m".into(),

@@ -30,6 +30,9 @@
 //! * [`runtime`] — the threaded local runtime executing deployments for
 //!   real, with per-module isolation, transparent cross-device frame
 //!   transcoding, and optional real-TCP cross-device transport.
+//! * [`slo`] — the per-pipeline SLO feedback controller: windowed-tail
+//!   observation over the metrics histograms, an ordered degradation knob
+//!   lattice, hysteresis and dwell.
 //! * [`telemetry`] — pipeline monitoring snapshots over PUB/SUB (the
 //!   paper's §7 future work).
 //!
@@ -60,6 +63,7 @@ pub mod module;
 pub mod resilience;
 pub mod runtime;
 pub mod service;
+pub mod slo;
 pub mod spec;
 pub mod telemetry;
 
@@ -78,5 +82,6 @@ pub mod prelude {
     pub use crate::resilience::{DegradationPolicy, ResilienceConfig, RetryPolicy};
     pub use crate::runtime::{BatchConfig, LocalRuntime, RuntimeConfig};
     pub use crate::service::{Service, ServiceRegistry, ServiceRequest, ServiceResponse};
+    pub use crate::slo::{Knob, Slo, SloConfig, SloController};
     pub use crate::spec::{ModuleSpec, PipelineSpec};
 }

@@ -38,26 +38,55 @@ impl LatencyHistogram {
         ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. Counters saturate instead of wrapping so
+    /// a long soak cannot overflow-panic in debug profiles.
     pub fn record(&mut self, ns: u64) {
-        self.buckets[Self::bucket_for(ns)] += 1;
-        self.count += 1;
-        self.sum_ns += u128::from(ns);
+        let bucket = Self::bucket_for(ns);
+        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(u128::from(ns));
         self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one (saturating).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
         if other.count > 0 {
             self.min_ns = self.min_ns.min(other.min_ns);
             self.max_ns = self.max_ns.max(other.max_ns);
         }
+    }
+
+    /// The histogram seen since `prev` was cloned from this same series:
+    /// bucket-wise difference of two cumulative snapshots. This is how the
+    /// SLO controller computes *windowed* p50/p99 between control ticks
+    /// without any per-frame allocation. `prev` must be an earlier snapshot
+    /// of the same histogram; stale buckets subtract saturating, so a
+    /// mismatched pair degrades to an empty window rather than panicking.
+    ///
+    /// Exact per-sample min/max are not recoverable from bucket deltas, so
+    /// the window's bounds are the covered bucket ranges (lowest nonzero
+    /// bucket's floor, highest nonzero bucket's ceiling), which is what
+    /// [`LatencyHistogram::quantile_ns`] clamps against.
+    pub fn since(&self, prev: &LatencyHistogram) -> LatencyHistogram {
+        let mut delta = LatencyHistogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            let d = a.saturating_sub(*b);
+            delta.buckets[i] = d;
+            if d > 0 {
+                delta.count = delta.count.saturating_add(d);
+                let lo = (1u64 << i) * 1_000;
+                delta.min_ns = delta.min_ns.min(lo);
+                delta.max_ns = delta.max_ns.max(lo.saturating_mul(2));
+            }
+        }
+        delta.sum_ns = self.sum_ns.saturating_sub(prev.sum_ns);
+        delta
     }
 
     /// Number of samples.
@@ -201,13 +230,15 @@ impl DispatchStats {
     }
 
     fn record_batch(&mut self, busy_ns: u64, queue_depth: u64, batch_len: u64) {
-        self.requests += batch_len;
-        self.busy_ns += busy_ns;
+        // Saturating on every counter: these accumulate for the life of a
+        // deployment, and a wrap would panic in debug profiles mid-soak.
+        self.requests = self.requests.saturating_add(batch_len);
+        self.busy_ns = self.busy_ns.saturating_add(busy_ns);
         self.max_queue_depth = self.max_queue_depth.max(queue_depth);
-        self.batches += 1;
+        self.batches = self.batches.saturating_add(1);
         self.max_batch = self.max_batch.max(batch_len);
         let bucket = (batch_len.max(1) as usize - 1).min(BATCH_BUCKETS - 1);
-        self.batch_sizes[bucket] += 1;
+        self.batch_sizes[bucket] = self.batch_sizes[bucket].saturating_add(1);
     }
 }
 
@@ -369,22 +400,22 @@ impl PipelineMetrics {
         }
         for (host, stats) in &other.dispatch {
             let mine = self.dispatch.entry(host.clone()).or_default();
-            mine.requests += stats.requests;
-            mine.busy_ns += stats.busy_ns;
+            mine.requests = mine.requests.saturating_add(stats.requests);
+            mine.busy_ns = mine.busy_ns.saturating_add(stats.busy_ns);
             mine.max_queue_depth = mine.max_queue_depth.max(stats.max_queue_depth);
-            mine.batches += stats.batches;
+            mine.batches = mine.batches.saturating_add(stats.batches);
             mine.max_batch = mine.max_batch.max(stats.max_batch);
             for (a, b) in mine.batch_sizes.iter_mut().zip(stats.batch_sizes.iter()) {
-                *a += b;
+                *a = a.saturating_add(*b);
             }
         }
         self.end_to_end.merge(&other.end_to_end);
-        self.frames_delivered += other.frames_delivered;
-        self.frames_dropped += other.frames_dropped;
-        self.frames_offered += other.frames_offered;
-        self.frames_admitted += other.frames_admitted;
-        self.frames_faulted += other.frames_faulted;
-        self.in_flight_at_end += other.in_flight_at_end;
+        self.frames_delivered = self.frames_delivered.saturating_add(other.frames_delivered);
+        self.frames_dropped = self.frames_dropped.saturating_add(other.frames_dropped);
+        self.frames_offered = self.frames_offered.saturating_add(other.frames_offered);
+        self.frames_admitted = self.frames_admitted.saturating_add(other.frames_admitted);
+        self.frames_faulted = self.frames_faulted.saturating_add(other.frames_faulted);
+        self.in_flight_at_end = self.in_flight_at_end.saturating_add(other.in_flight_at_end);
         self.last_delivery_ns = self.last_delivery_ns.max(other.last_delivery_ns);
         self.run_duration_ns = self.run_duration_ns.max(other.run_duration_ns);
     }
@@ -582,6 +613,67 @@ mod tests {
         assert_eq!(s.batches, 4);
         assert_eq!(s.batch_sizes[3], 2);
         assert_eq!(s.max_batch, 12);
+    }
+
+    #[test]
+    fn since_yields_windowed_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(2_000_000); // 2 ms era
+        }
+        let snap = h.clone();
+        for _ in 0..100 {
+            h.record(64_000_000); // 64 ms era
+        }
+        // The cumulative p50 straddles both eras, but the window since the
+        // snapshot only sees the slow era.
+        let window = h.since(&snap);
+        assert_eq!(window.count(), 100);
+        assert!(window.quantile_ns(0.5) >= 32_000_000);
+        assert!(window.mean_ns() >= 32_000_000);
+        // Window of a snapshot against itself is empty.
+        let empty = h.since(&h.clone());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn since_mismatched_snapshots_saturate_to_empty() {
+        let mut newer = LatencyHistogram::new();
+        newer.record(1_000_000);
+        let mut older = LatencyHistogram::new();
+        for _ in 0..10 {
+            older.record(1_000_000);
+        }
+        // "prev" has more samples than "now" (mismatched series): the delta
+        // saturates to zero instead of wrapping.
+        let window = newer.since(&older);
+        assert_eq!(window.count(), 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        // Force the counters to the brink and record again: must not panic
+        // (debug profiles panic on overflow with unchecked `+=`).
+        let mut s = DispatchStats {
+            requests: u64::MAX - 1,
+            busy_ns: u64::MAX - 1,
+            batches: u64::MAX,
+            ..DispatchStats::default()
+        };
+        s.record_batch(100, 1, 5);
+        assert_eq!(s.requests, u64::MAX);
+        assert_eq!(s.batches, u64::MAX);
+
+        let mut m = PipelineMetrics::new();
+        m.frames_delivered = u64::MAX;
+        let mut other = PipelineMetrics::new();
+        other.frames_delivered = 10;
+        other.record_dispatch("d/s", 1, 1);
+        m.merge(&other);
+        assert_eq!(m.frames_delivered, u64::MAX);
     }
 
     #[test]

@@ -24,10 +24,11 @@ use crate::resilience::{
     seed_for, BreakerSnapshot, CircuitBreaker, DegradationPolicy, ResilienceConfig, SeededJitter,
 };
 use crate::service::{ServiceRegistry, ServiceRequest, ServiceResponse};
+use crate::slo::{KnobSettings, SloAction, SloConfig, SloController};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use videopipe_media::{codec, FrameStore};
@@ -133,6 +134,13 @@ pub struct RuntimeConfig {
     /// (at-least-once delivery after partition heal or failover). `0` (the
     /// default) disables the window and preserves seed behaviour.
     pub dedup_window: usize,
+    /// When set, a per-pipeline SLO feedback controller observes windowed
+    /// end-to-end p99 latency (and dispatch queue growth) and actuates the
+    /// configured degradation [`Knob`](crate::slo::Knob) lattice — codec
+    /// quality down, batches up, source sampling down, shedding last — with
+    /// hysteresis and a minimum dwell. `None` (the default) keeps every
+    /// knob static.
+    pub slo: Option<SloConfig>,
 }
 
 impl RuntimeConfig {
@@ -149,6 +157,65 @@ impl RuntimeConfig {
     pub fn with_service_batch(mut self, service: impl Into<String>, batch: BatchConfig) -> Self {
         self.service_batch.insert(service.into(), batch);
         self
+    }
+
+    /// Builder-style SLO controller attachment.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Deploy-time validation of every statically checkable field. The
+    /// flow-control types would otherwise panic inside spawned threads
+    /// (`SourcePacer` on a non-positive fps, `CreditController` on zero
+    /// credits), turning a bad config into a hang instead of an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if !(self.fps.is_finite() && self.fps > 0.0) {
+            return Err(PipelineError::InvalidConfig {
+                field: "fps",
+                reason: format!("must be finite and > 0, got {}", self.fps),
+            });
+        }
+        if self.credits == 0 {
+            return Err(PipelineError::InvalidConfig {
+                field: "credits",
+                reason: "must be ≥ 1 (the paper's no-queue design is credits = 1)".into(),
+            });
+        }
+        if !(self.time_scale.is_finite() && self.time_scale >= 0.0) {
+            return Err(PipelineError::InvalidConfig {
+                field: "time_scale",
+                reason: format!("must be finite and ≥ 0, got {}", self.time_scale),
+            });
+        }
+        if self.batch.max_batch == 0 {
+            return Err(PipelineError::InvalidConfig {
+                field: "batch.max_batch",
+                reason: "zero-sized batch can never dispatch; use 1 to disable batching".into(),
+            });
+        }
+        for (service, batch) in &self.service_batch {
+            if batch.max_batch == 0 {
+                return Err(PipelineError::InvalidConfig {
+                    field: "service_batch",
+                    reason: format!(
+                        "zero-sized batch for service {service:?}; use 1 to disable batching"
+                    ),
+                });
+            }
+        }
+        if let Some(slo) = &self.slo {
+            slo.validate()
+                .map_err(|reason| PipelineError::InvalidConfig {
+                    field: "slo",
+                    reason,
+                })?;
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +234,7 @@ impl Default for RuntimeConfig {
             heartbeats: None,
             checkpoint_period: None,
             dedup_window: 0,
+            slo: None,
         }
     }
 }
@@ -225,6 +293,14 @@ pub struct RunReport {
     pub device_statuses: Vec<(String, DeviceStatus)>,
     /// Fence epoch at the end of the run (0 = no confirmed device loss).
     pub fence_epoch: u64,
+    /// Final SLO controller lattice level (0 = baseline; also 0 when no
+    /// controller was configured).
+    pub slo_level: usize,
+    /// Total SLO knob moves over the run (both directions).
+    pub slo_moves: u64,
+    /// SLO controller direction reversals over the run (bounded by the
+    /// dwell time: at most one move per dwell).
+    pub slo_flaps: u64,
 }
 
 /// Shared state for one running pipeline.
@@ -250,11 +326,89 @@ struct Shared {
     checkpoints: Mutex<HashMap<String, Vec<u8>>>,
     /// Devices whose heartbeat sender is suppressed (chaos hook).
     muted_heartbeats: Mutex<HashSet<String>>,
+    /// Live SLO knob actuators, written by the controller thread and read
+    /// lock-free at the actuation sites (encode path, executor drain, pacer
+    /// admission). All-baseline when no controller is configured.
+    knobs: KnobActuators,
+}
+
+/// Lock-free actuation state for the SLO controller's knob lattice.
+struct KnobActuators {
+    /// Codec quality override for cross-device frames; `NO_QUALITY` (255)
+    /// means "use the configured quality".
+    quality_shift: AtomicU8,
+    /// Floor applied over every service's configured `max_batch`; 0 means
+    /// no override.
+    batch_floor: AtomicUsize,
+    /// Source sampling divisor (1 = every camera tick).
+    sample_divisor: AtomicU32,
+    /// Shedding factor applied after sampling (1 = keep everything).
+    shed_one_in: AtomicU32,
+    /// Current lattice level, for telemetry and reports.
+    level: AtomicUsize,
+    /// Knob moves / direction reversals, mirrored from the controller.
+    moves: AtomicU64,
+    flaps: AtomicU64,
+}
+
+const NO_QUALITY: u8 = u8::MAX;
+
+impl KnobActuators {
+    fn baseline() -> Self {
+        KnobActuators {
+            quality_shift: AtomicU8::new(NO_QUALITY),
+            batch_floor: AtomicUsize::new(0),
+            sample_divisor: AtomicU32::new(1),
+            shed_one_in: AtomicU32::new(1),
+            level: AtomicUsize::new(0),
+            moves: AtomicU64::new(0),
+            flaps: AtomicU64::new(0),
+        }
+    }
+
+    fn apply(&self, settings: KnobSettings, level: usize) {
+        self.quality_shift.store(
+            settings.quality_shift.unwrap_or(NO_QUALITY),
+            Ordering::Relaxed,
+        );
+        self.batch_floor
+            .store(settings.max_batch.unwrap_or(0), Ordering::Relaxed);
+        self.sample_divisor
+            .store(settings.sample_divisor.max(1), Ordering::Relaxed);
+        self.shed_one_in
+            .store(settings.shed_one_in.max(1), Ordering::Relaxed);
+        self.level.store(level, Ordering::Relaxed);
+    }
+
+    fn admit_stride(&self) -> u64 {
+        u64::from(self.sample_divisor.load(Ordering::Relaxed).max(1))
+            * u64::from(self.shed_one_in.load(Ordering::Relaxed).max(1))
+    }
 }
 
 impl Shared {
     fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The codec quality in effect right now: the SLO controller's override
+    /// when one is applied, the configured quality otherwise.
+    fn effective_quality(&self) -> codec::Quality {
+        match self.knobs.quality_shift.load(Ordering::Relaxed) {
+            shift if shift < 8 => codec::Quality::new(shift),
+            _ => self.config.codec_quality,
+        }
+    }
+
+    /// The micro-batch ceiling in effect for `service` right now: the
+    /// configured policy, raised to the controller's batch floor when the
+    /// batch knob is engaged.
+    fn effective_max_batch(&self, service: &str) -> usize {
+        self.config
+            .batch_for(service)
+            .max_batch
+            .max(1)
+            .max(self.knobs.batch_floor.load(Ordering::Relaxed))
     }
 }
 
@@ -462,7 +616,7 @@ impl ModuleCtx for LocalCtx {
         // gets a refcount bump of the same buffer.
         if remote {
             if let Payload::FrameRef(id) = request.payload {
-                let encoded = self.store().encoded(id, self.shared.config.codec_quality)?;
+                let encoded = self.store().encoded(id, self.shared.effective_quality())?;
                 request.payload = Payload::EncodedFrame(encoded);
             }
         }
@@ -519,7 +673,7 @@ impl ModuleCtx for LocalCtx {
             if let Payload::FrameRef(id) = payload {
                 // Cached transcode: a frame forwarded to several
                 // cross-device successors is encoded once, not per edge.
-                let encoded = self.store().encoded(id, self.shared.config.codec_quality)?;
+                let encoded = self.store().encoded(id, self.shared.effective_quality())?;
                 payload = Payload::EncodedFrame(encoded);
             }
             let bytes = payload.size_hint() as u64;
@@ -610,6 +764,7 @@ impl LocalRuntime {
         services: &ServiceRegistry,
         config: RuntimeConfig,
     ) -> Result<Self, PipelineError> {
+        config.validate()?;
         let pipeline = plan.pipeline.name.clone();
         let hub = InprocHub::new();
         let mut stores = HashMap::new();
@@ -695,8 +850,69 @@ impl LocalRuntime {
             })),
             checkpoints: Mutex::new(HashMap::new()),
             muted_heartbeats: Mutex::new(HashSet::new()),
+            knobs: KnobActuators::baseline(),
         });
         let mut threads = Vec::new();
+
+        // --- SLO feedback controller: one thread per pipeline, ticking at
+        // the configured interval. It reads cumulative metrics (the same
+        // histograms telemetry publishes), diffs them into a window, and
+        // actuates the knob lattice through the shared atomics — never
+        // touching the per-frame path.
+        if let Some(slo_cfg) = config.slo.clone() {
+            let shared_s = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("slo-{pipeline}"))
+                    .spawn(move || {
+                        let mut controller = SloController::new(slo_cfg);
+                        let interval = controller.config().interval;
+                        let target_ms = controller.config().slo.p99.as_secs_f64() * 1e3;
+                        let mut last = Instant::now();
+                        while !shared_s.stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(POLL.min(interval));
+                            if last.elapsed() < interval {
+                                continue;
+                            }
+                            last = Instant::now();
+                            let (hist, queue_max) = {
+                                let metrics = shared_s.metrics.lock();
+                                let q = metrics
+                                    .dispatch
+                                    .values()
+                                    .map(|d| d.max_queue_depth)
+                                    .max()
+                                    .unwrap_or(0);
+                                (metrics.end_to_end.clone(), q)
+                            };
+                            let action = controller.observe(shared_s.now_ns(), &hist, queue_max);
+                            if action != SloAction::Hold {
+                                let level = controller.level();
+                                shared_s.knobs.apply(controller.settings(), level);
+                                shared_s
+                                    .knobs
+                                    .moves
+                                    .store(controller.moves(), Ordering::Relaxed);
+                                shared_s
+                                    .knobs
+                                    .flaps
+                                    .store(controller.flaps(), Ordering::Relaxed);
+                                let dir = match action {
+                                    SloAction::StepDown { .. } => "down",
+                                    _ => "up",
+                                };
+                                shared_s.logs.lock().push(format!(
+                                    "slo: step {dir} to level {level} \
+                                     (window p99 {:.1} ms vs target {target_ms:.1} ms, {:?})",
+                                    controller.last_window_p99_ns() as f64 / 1e6,
+                                    controller.settings(),
+                                ));
+                            }
+                        }
+                    })
+                    .expect("spawn slo controller"),
+            );
+        }
 
         // --- Health layer: per-device heartbeat senders plus one monitor
         // that feeds the failure detector and bumps the fence epoch on a
@@ -920,7 +1136,7 @@ impl LocalRuntime {
                                 continue;
                             }
                             last = Instant::now();
-                            let snapshot = {
+                            let mut snapshot = {
                                 let metrics = shared_t.metrics.lock();
                                 crate::telemetry::TelemetrySnapshot::from_metrics(
                                     &pipeline_t,
@@ -928,6 +1144,8 @@ impl LocalRuntime {
                                     &metrics,
                                 )
                             };
+                            snapshot.slo_level =
+                                shared_t.knobs.level.load(Ordering::Relaxed) as u64;
                             snapshot.publish(&shared_t.hub);
                         }
                     })
@@ -1002,6 +1220,12 @@ impl LocalRuntime {
     /// The current fence epoch (0 until a device loss is confirmed).
     pub fn fence_epoch(&self) -> u64 {
         self.shared.fence_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The SLO controller's current lattice level (0 = baseline; always 0
+    /// when [`RuntimeConfig::slo`] is unset).
+    pub fn slo_level(&self) -> usize {
+        self.shared.knobs.level.load(Ordering::Relaxed)
     }
 
     /// Chaos hook: silences `device`'s heartbeat sender, as if the device
@@ -1081,6 +1305,9 @@ impl LocalRuntime {
             breakers,
             device_statuses,
             fence_epoch: self.shared.fence_epoch.load(Ordering::SeqCst),
+            slo_level: self.shared.knobs.level.load(Ordering::Relaxed),
+            slo_moves: self.shared.knobs.moves.load(Ordering::Relaxed),
+            slo_flaps: self.shared.knobs.flaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -1105,7 +1332,6 @@ fn service_executor_loop(
 ) {
     let host = format!("{device}/{}", image.name());
     let batch = shared.config.batch_for(image.name());
-    let max_batch = batch.max_batch.max(1);
     // Observed inter-arrival gap (EWMA, ns): drives the adaptive drain
     // deadline. Starts at one POLL so an idle executor never waits for a
     // second request that isn't coming.
@@ -1119,6 +1345,10 @@ fn service_executor_loop(
         if msg.kind != MessageKind::Request {
             continue;
         }
+        // Re-read per dispatch: the SLO controller may raise the batch
+        // ceiling mid-run (one relaxed atomic load; the drain policy and
+        // its adaptive wait are otherwise unchanged).
+        let max_batch = shared.effective_max_batch(image.name());
         // Backlog behind this request, sampled BEFORE the drain below
         // empties the queue — `max_queue_depth` must keep reflecting true
         // pressure, not the post-drain emptiness.
@@ -1569,15 +1799,20 @@ fn pacer_loop(
                     .push(format!("pacer: credit lease expired for frame {seq}"));
             }
         }
-        // Camera tick.
+        // Camera tick. The SLO controller's sampling/shedding knobs thin
+        // admission here, before a credit is spent: with a stride of N only
+        // every N-th camera tick competes for a credit at all, and the
+        // skipped ticks are accounted as source drops.
         pacer.advance();
         next_tick += interval;
-        let admitted = controller.try_admit();
+        let stride = shared.knobs.admit_stride();
+        let sampled_out = stride > 1 && !pacer.ticks().is_multiple_of(stride);
+        let admitted = !sampled_out && controller.try_admit();
         {
             let mut metrics = shared.metrics.lock();
-            metrics.frames_offered += 1;
+            metrics.frames_offered = metrics.frames_offered.saturating_add(1);
             if !admitted {
-                metrics.frames_dropped += 1;
+                metrics.frames_dropped = metrics.frames_dropped.saturating_add(1);
             }
         }
         if admitted {
@@ -2010,6 +2245,159 @@ mod tests {
         let result =
             LocalRuntime::deploy(&plan, &modules, &empty_services, RuntimeConfig::default());
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn deploy_validates_config_with_typed_errors() {
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(1)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let expect_invalid = |config: RuntimeConfig, field: &str| match LocalRuntime::deploy(
+            &plan, &modules, &services, config,
+        ) {
+            Err(PipelineError::InvalidConfig { field: f, .. }) => {
+                assert_eq!(f, field, "wrong field reported")
+            }
+            other => panic!("expected InvalidConfig({field}), got {other:?}"),
+        };
+        expect_invalid(
+            RuntimeConfig {
+                fps: 0.0,
+                ..RuntimeConfig::default()
+            },
+            "fps",
+        );
+        expect_invalid(
+            RuntimeConfig {
+                fps: f64::NAN,
+                ..RuntimeConfig::default()
+            },
+            "fps",
+        );
+        expect_invalid(
+            RuntimeConfig {
+                credits: 0,
+                ..RuntimeConfig::default()
+            },
+            "credits",
+        );
+        expect_invalid(
+            RuntimeConfig {
+                batch: BatchConfig {
+                    max_batch: 0,
+                    max_wait: Duration::from_millis(2),
+                },
+                ..RuntimeConfig::default()
+            },
+            "batch.max_batch",
+        );
+        expect_invalid(
+            RuntimeConfig::default().with_service_batch(
+                "doubler",
+                BatchConfig {
+                    max_batch: 0,
+                    max_wait: Duration::from_millis(2),
+                },
+            ),
+            "service_batch",
+        );
+        // Inverted SLO bounds: p50 above p99.
+        let mut slo = crate::slo::SloConfig::p99(Duration::from_millis(50));
+        slo.slo.p50 = Some(Duration::from_millis(80));
+        expect_invalid(RuntimeConfig::default().with_slo(slo), "slo");
+        // Inverted hysteresis band.
+        let mut slo = crate::slo::SloConfig::p99(Duration::from_millis(50));
+        slo.relax_headroom = 2.0;
+        expect_invalid(RuntimeConfig::default().with_slo(slo), "slo");
+        // The typed error renders the field name for operators.
+        let err = RuntimeConfig {
+            credits: 0,
+            ..RuntimeConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("credits"), "{err}");
+    }
+
+    #[test]
+    fn slo_controller_degrades_overloaded_pipeline_and_logs_moves() {
+        // 100 fps offered into a ~30 ms service with 4 credits: queueing
+        // drives end-to-end p99 way past the 5 ms target, so the controller
+        // must walk down its lattice and thin admission.
+        let (devices, placement) = one_device();
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let mut modules = ModuleRegistry::new();
+        modules.register("TestSource", || Box::new(TestSource));
+        modules.register("TestMid", || Box::new(TestMid));
+        modules.register("TestSink", || Box::new(TestSink));
+        let mut services = ServiceRegistry::new();
+        services.install(Arc::new(Sleepy2));
+        let mut slo = crate::slo::SloConfig::p99(Duration::from_millis(5))
+            .with_interval(Duration::from_millis(120))
+            .with_dwell(Duration::from_millis(120))
+            .with_lattice(vec![
+                crate::slo::Knob::CodecQuality { shift: 6 },
+                crate::slo::Knob::SampleRate { divisor: 2 },
+                crate::slo::Knob::SampleRate { divisor: 4 },
+            ]);
+        // The overloaded pipeline only delivers ~30 fps, so a 120 ms window
+        // holds only a few frames; judge on 2+.
+        slo.min_window = 2;
+        let config = RuntimeConfig {
+            fps: 100.0,
+            credits: 4,
+            slo: Some(slo),
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        let report = runtime.run_for(Duration::from_millis(900));
+        assert!(
+            report.slo_level > 0,
+            "controller never engaged: {:?}",
+            report.logs
+        );
+        assert!(report.slo_moves >= 1);
+        assert!(
+            report.logs.iter().any(|l| l.starts_with("slo: step down")),
+            "no controller log line: {:?}",
+            report.logs
+        );
+        // Dwell 60 ms over a 900 ms run bounds the move rate.
+        assert!(
+            report.slo_moves <= 15,
+            "dwell violated: {} moves",
+            report.slo_moves
+        );
+        assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    /// A service slow enough (~30 ms) to overload a 100 fps source.
+    struct Sleepy2;
+    impl Service for Sleepy2 {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn handle(
+            &self,
+            request: &ServiceRequest,
+            _store: &FrameStore,
+        ) -> Result<ServiceResponse, PipelineError> {
+            std::thread::sleep(Duration::from_millis(30));
+            let n = match request.payload {
+                Payload::Count(n) => n,
+                _ => 0,
+            };
+            Ok(ServiceResponse::new(Payload::Count(n * 2)))
+        }
+        fn cost(&self, _request: &ServiceRequest) -> ServiceCost {
+            ServiceCost::flat(Duration::from_millis(1))
+        }
     }
 
     #[test]
@@ -2648,6 +3036,7 @@ mod tests {
             detector: Mutex::new(None),
             checkpoints: Mutex::new(HashMap::new()),
             muted_heartbeats: Mutex::new(HashSet::new()),
+            knobs: KnobActuators::baseline(),
         });
         (shared, hub)
     }

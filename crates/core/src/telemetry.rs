@@ -29,6 +29,18 @@ pub struct TelemetrySnapshot {
     pub fps: f64,
     /// Mean end-to-end latency (ms).
     pub mean_latency_ms: f64,
+    /// Median end-to-end latency (ms), from the low-cardinality log-bucket
+    /// histogram (no per-frame allocation).
+    pub p50_ms: f64,
+    /// End-to-end p99 latency (ms) — the quantity the SLO controller
+    /// defends.
+    pub p99_ms: f64,
+    /// Deepest service dispatch backlog observed so far, across hosts (the
+    /// controller's early-warning signal).
+    pub max_queue_depth: u64,
+    /// Current SLO degradation lattice level (0 = baseline / no
+    /// controller).
+    pub slo_level: u64,
     /// Mean per-stage latency (ms), keyed by module name.
     pub stage_means_ms: BTreeMap<String, f64>,
     /// Mean micro-batch size per service host (`device/service`), present
@@ -47,6 +59,15 @@ impl TelemetrySnapshot {
             frames_dropped: metrics.frames_dropped,
             fps: metrics.fps(),
             mean_latency_ms: metrics.end_to_end.mean_ms(),
+            p50_ms: metrics.end_to_end.quantile_ns(0.5) as f64 / 1e6,
+            p99_ms: metrics.end_to_end.quantile_ns(0.99) as f64 / 1e6,
+            max_queue_depth: metrics
+                .dispatch
+                .values()
+                .map(|s| s.max_queue_depth)
+                .max()
+                .unwrap_or(0),
+            slo_level: 0,
             stage_means_ms: metrics
                 .stages
                 .iter()
@@ -77,6 +98,12 @@ impl TelemetrySnapshot {
             self.fps,
             self.mean_latency_ms
         );
+        // Tail-latency / SLO keys are new in the controller layer; old
+        // decoders skip them via the unknown-key rule.
+        out.push_str(&format!(
+            ";p50_ms={:.4};p99_ms={:.4};queue={};slo_level={}",
+            self.p50_ms, self.p99_ms, self.max_queue_depth, self.slo_level
+        ));
         for (stage, ms) in &self.stage_means_ms {
             out.push_str(&format!(";stage.{stage}={ms:.4}"));
         }
@@ -101,6 +128,10 @@ impl TelemetrySnapshot {
             frames_dropped: 0,
             fps: 0.0,
             mean_latency_ms: 0.0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+            max_queue_depth: 0,
+            slo_level: 0,
             stage_means_ms: BTreeMap::new(),
             batch_means: BTreeMap::new(),
         };
@@ -116,6 +147,10 @@ impl TelemetrySnapshot {
                 "dropped" => snapshot.frames_dropped = value.parse().map_err(|_| bad())?,
                 "fps" => snapshot.fps = value.parse().map_err(|_| bad())?,
                 "latency_ms" => snapshot.mean_latency_ms = value.parse().map_err(|_| bad())?,
+                "p50_ms" => snapshot.p50_ms = value.parse().map_err(|_| bad())?,
+                "p99_ms" => snapshot.p99_ms = value.parse().map_err(|_| bad())?,
+                "queue" => snapshot.max_queue_depth = value.parse().map_err(|_| bad())?,
+                "slo_level" => snapshot.slo_level = value.parse().map_err(|_| bad())?,
                 other_key => {
                     if let Some(stage) = other_key.strip_prefix("stage.") {
                         snapshot
@@ -277,6 +312,27 @@ mod tests {
     fn unknown_keys_are_ignored() {
         let decoded = TelemetrySnapshot::decode("pipeline=p;future_field=1;at_ns=5").unwrap();
         assert_eq!(decoded.at_ns, 5);
+    }
+
+    #[test]
+    fn tail_latency_and_slo_keys_roundtrip() {
+        let mut metrics = PipelineMetrics::new();
+        for ms in [10u64, 12, 90] {
+            metrics.record_delivery(ms, ms * 1_000_000);
+        }
+        metrics.record_dispatch("edge/pose", 1_000_000, 11);
+        let mut snapshot = TelemetrySnapshot::from_metrics("fitness", 1, &metrics);
+        snapshot.slo_level = 3;
+        assert!(snapshot.p99_ms >= snapshot.p50_ms);
+        assert_eq!(snapshot.max_queue_depth, 11);
+        let decoded = TelemetrySnapshot::decode(&snapshot.encode()).unwrap();
+        assert!((decoded.p50_ms - snapshot.p50_ms).abs() < 1e-3);
+        assert!((decoded.p99_ms - snapshot.p99_ms).abs() < 1e-3);
+        assert_eq!(decoded.max_queue_depth, 11);
+        assert_eq!(decoded.slo_level, 3);
+        // Pre-controller decoders (no such keys) still parse fine.
+        let legacy = TelemetrySnapshot::decode("pipeline=p;at_ns=5;slo_level=2").unwrap();
+        assert_eq!(legacy.slo_level, 2);
     }
 
     #[test]

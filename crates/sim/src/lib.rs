@@ -36,5 +36,8 @@ pub use faults::{DeviceCrash, FaultPlan, LatencySpike, LinkPartition};
 pub use net_model::{LinkModel, LinkStats};
 pub use pool::{PoolStats, ServicePool};
 pub use profiles::SimProfile;
-pub use scenario::{FailoverConfig, FailoverEvent, PipelineHandle, Scenario, ScenarioReport};
+pub use scenario::{
+    FailoverConfig, FailoverEvent, LoadPlan, PipelineHandle, Scenario, ScenarioReport, SloSummary,
+    SloTickRecord,
+};
 pub use time::SimTime;

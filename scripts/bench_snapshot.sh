@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
-# Hot-path + ML-kernel + dispatch-batching + self-healing performance
-# snapshot: runs the bench_snapshot binary (release) and emits
-# BENCH_PR5.json at the workspace root (codec kernels, ML/vision kernels
+# Hot-path + ML-kernel + dispatch-batching + self-healing + SLO-controller
+# performance snapshot: runs the bench_snapshot binary (release) and emits
+# BENCH_PR6.json at the workspace root (codec kernels, ML/vision kernels
 # vs their scalar oracles, encode-cache fan-out, inproc roundtrips,
-# executor draining, the service-dispatch saturation sweep, and the
-# deterministic failover-MTTR cell).
+# executor draining, the service-dispatch saturation sweep, the
+# deterministic failover-MTTR cell, and the SLO flash-crowd cell with the
+# quality knob's measured accuracy cost).
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
 #   --quick    shrink iteration counts (CI smoke; numbers are noisier)
-#   --out PATH write the JSON somewhere else (default BENCH_PR5.json)
+#   --out PATH write the JSON somewhere else (default BENCH_PR6.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -37,6 +37,8 @@ RUN OPTIONS:
     --gesture <wave|clap|idle>    gesture app motion (default clap)
     --pose-instances <n>          pose service pool size (sim only)
     --seed <n>                    RNG seed (default 42)
+    --slo <ms>                    defend a p99 latency SLO with the app's
+                                  degradation lattice (default off)
 ";
 
 struct Options {
@@ -48,6 +50,7 @@ struct Options {
     gesture: ExerciseKind,
     pose_instances: usize,
     seed: u64,
+    slo: Option<Duration>,
 }
 
 impl Default for Options {
@@ -61,6 +64,7 @@ impl Default for Options {
             gesture: ExerciseKind::Clap,
             pose_instances: 1,
             seed: 42,
+            slo: None,
         }
     }
 }
@@ -130,6 +134,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--seed needs an integer".to_string())?;
             }
+            "--slo" => {
+                let ms: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--slo needs milliseconds".to_string())?;
+                if !(ms.is_finite() && ms > 0.0) {
+                    return Err("--slo must be positive".into());
+                }
+                opts.slo = Some(Duration::from_secs_f64(ms / 1e3));
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -153,6 +166,7 @@ fn run_sim(
     modules: &ModuleRegistry,
     services: &ServiceRegistry,
     opts: &Options,
+    slo: Option<SloConfig>,
 ) -> Result<(), String> {
     let profile = SimProfile::calibrated()
         .with_seed(opts.seed)
@@ -161,7 +175,16 @@ fn run_sim(
     let handle = scenario
         .add_pipeline(plan, modules, services, opts.fps, opts.credits)
         .map_err(|e| e.to_string())?;
+    if let Some(cfg) = slo {
+        scenario.enable_slo(cfg);
+    }
     let report = scenario.run(opts.duration);
+    for s in &report.slo {
+        println!(
+            "slo: {} finished at lattice level {} ({} move(s), {} flap(s))",
+            s.pipeline, s.level, s.moves, s.flaps
+        );
+    }
     for line in report
         .logs
         .iter()
@@ -188,7 +211,9 @@ fn run_local(
     modules: &ModuleRegistry,
     services: &ServiceRegistry,
     opts: &Options,
+    slo: Option<SloConfig>,
 ) -> Result<(), String> {
+    let slo_enabled = slo.is_some();
     let runtime = LocalRuntime::deploy(
         plan,
         modules,
@@ -196,6 +221,7 @@ fn run_local(
         RuntimeConfig {
             fps: opts.fps,
             credits: opts.credits,
+            slo,
             ..RuntimeConfig::default()
         },
     )
@@ -205,6 +231,12 @@ fn run_local(
         opts.duration.as_secs_f64()
     );
     let report = runtime.run_for(opts.duration);
+    if slo_enabled {
+        println!(
+            "slo: finished at lattice level {} ({} move(s), {} flap(s))",
+            report.slo_level, report.slo_moves, report.slo_flaps
+        );
+    }
     for line in report
         .logs
         .iter()
@@ -227,6 +259,14 @@ fn run_local(
 }
 
 fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
+    // Each app declares its own degradation priorities (what it can afford
+    // to lose first); --slo only picks the target the lattice defends.
+    let slo = opts.slo.map(|target| match app {
+        "gesture" => gesture::slo_config(target),
+        "fall" => fall::slo_config(target),
+        "retail" => retail::slo_config(target),
+        _ => fitness::slo_config(target),
+    });
     match app {
         "fitness" => {
             if opts.local {
@@ -240,6 +280,20 @@ fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
                     &fitness::module_registry(opts.seed),
                     &fitness::service_registry(opts.seed),
                     opts,
+                    slo,
+                )
+            } else if slo.is_some() {
+                let plan = match opts.arch {
+                    Arch::VideoPipe => fitness::videopipe_plan(),
+                    Arch::Baseline => fitness::baseline_plan(),
+                }
+                .map_err(|e| e.to_string())?;
+                run_sim(
+                    &plan,
+                    &fitness::module_registry(opts.seed),
+                    &fitness::service_registry(opts.seed),
+                    opts,
+                    slo,
                 )
             } else {
                 let config = ExperimentConfig {
@@ -274,9 +328,9 @@ fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
             let modules = gesture::module_registry(opts.seed, opts.gesture, Arc::clone(&hub));
             let services = gesture::service_registry(opts.seed);
             if opts.local {
-                run_local(&plan, &modules, &services, opts)?;
+                run_local(&plan, &modules, &services, opts, slo)?;
             } else {
-                run_sim(&plan, &modules, &services, opts)?;
+                run_sim(&plan, &modules, &services, opts, slo)?;
             }
             println!(
                 "IoT state after the run: light {}, doorbell {}, {} command(s)",
@@ -291,9 +345,9 @@ fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
             let modules = fall::module_registry(opts.seed, 1.5);
             let services = fall::service_registry();
             if opts.local {
-                run_local(&plan, &modules, &services, opts)
+                run_local(&plan, &modules, &services, opts, slo)
             } else {
-                run_sim(&plan, &modules, &services, opts)
+                run_sim(&plan, &modules, &services, opts, slo)
             }
         }
         "retail" => {
@@ -301,9 +355,9 @@ fn cmd_run(app: &str, opts: &Options) -> Result<(), String> {
             let modules = retail::module_registry(opts.seed, retail::default_shelf());
             let services = retail::service_registry();
             if opts.local {
-                run_local(&plan, &modules, &services, opts)
+                run_local(&plan, &modules, &services, opts, slo)
             } else {
-                run_sim(&plan, &modules, &services, opts)
+                run_sim(&plan, &modules, &services, opts, slo)
             }
         }
         other => Err(format!(
@@ -439,6 +493,8 @@ mod tests {
             "3",
             "--seed",
             "7",
+            "--slo",
+            "150",
         ])
         .unwrap();
         assert_eq!(opts.arch, Arch::Baseline);
@@ -449,6 +505,7 @@ mod tests {
         assert_eq!(opts.gesture, ExerciseKind::Wave);
         assert_eq!(opts.pose_instances, 3);
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.slo, Some(Duration::from_millis(150)));
     }
 
     #[test]
@@ -462,6 +519,8 @@ mod tests {
         assert!(parse(&["--runtime", "cloud"]).is_err());
         assert!(parse(&["--gesture", "squat"]).is_err()); // not a gesture class
         assert!(parse(&["--gesture"]).is_err()); // missing value
+        assert!(parse(&["--slo", "0"]).is_err());
+        assert!(parse(&["--slo", "soon"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
     }
 
