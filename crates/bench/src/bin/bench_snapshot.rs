@@ -11,8 +11,12 @@
 //! a mid-pipeline device and the recovery timeline is reported in
 //! virtual time) and the SLO-controller spike cell (a 10× flash crowd
 //! with the degradation controller on vs the same config in shadow mode,
-//! with the quality knob's accuracy cost measured end-to-end) — and
-//! writes the results to `BENCH_PR6.json` (override with `--out`).
+//! with the quality knob's accuracy cost measured end-to-end) — plus the
+//! reactor scale cells (`pipelines_per_core`, `memory_per_pipeline`, OS
+//! thread count, and the threaded-runtime comparison arm that quantifies
+//! the thread-per-module ceiling) and the reactor low-load latency cell
+//! (comparable to the saturation `low_load` cell of BENCH_PR6) — and
+//! writes the results to `BENCH_PR7.json` (override with `--out`).
 //! `--quick` shrinks iteration counts so the run doubles as a CI smoke
 //! test.
 //!
@@ -26,6 +30,7 @@ use videopipe_apps::training;
 use videopipe_core::deploy::{plan, DeviceSpec, Placement};
 use videopipe_core::message::Payload;
 use videopipe_core::module::{Event, Module, ModuleCtx, ModuleRegistry};
+use videopipe_core::reactor::{ReactorConfig, ReactorRuntime};
 use videopipe_core::runtime::{BatchConfig, LocalRuntime, RuntimeConfig};
 use videopipe_core::service::{
     Service, ServiceCost, ServiceRegistry, ServiceRequest, ServiceResponse,
@@ -46,7 +51,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR6.json".to_string(),
+        out: "BENCH_PR7.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -1008,6 +1013,217 @@ fn slo_section(quick: bool, out: &mut String) {
     );
 }
 
+/// VmRSS of this process in KiB, from /proc/self/status (Linux runners).
+fn vm_rss_kb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// OS threads of this process, from /proc/self/status.
+fn os_threads() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// The counts-only fleet pipeline (src → work → sink with one co-located
+/// service call per frame): no frames minted, so the memory cell measures
+/// runtime structures, not pixel buffers.
+fn fleet_plan(name: &str) -> videopipe_core::deploy::DeploymentPlan {
+    let spec = PipelineSpec::new(name)
+        .with_module(ModuleSpec::new("src", "FoSrc").with_next("work"))
+        .with_module(
+            ModuleSpec::new("work", "FoWork")
+                .with_service("double")
+                .with_next("sink"),
+        )
+        .with_module(ModuleSpec::new("sink", "FoSink"));
+    let devices = vec![DeviceSpec::new("one", 1.0)
+        .with_containers(1)
+        .with_service("double")];
+    let placement = Placement::new()
+        .assign("src", "one")
+        .assign("work", "one")
+        .assign("sink", "one");
+    plan(&spec, &devices, &placement).expect("fleet plan")
+}
+
+fn fleet_registries() -> (ModuleRegistry, ServiceRegistry) {
+    let mut modules = ModuleRegistry::new();
+    modules.register("FoSrc", || Box::new(FoSrc));
+    modules.register("FoWork", || Box::new(FoWork));
+    modules.register("FoSink", || Box::new(FoSink));
+    let mut services = ServiceRegistry::new();
+    services.install(Arc::new(FoDouble));
+    (modules, services)
+}
+
+/// Reactor scale cells: deploy a 10k-pipeline fleet (1.5k in quick mode)
+/// on one event-driven reactor, report pipelines-per-core, memory per
+/// pipeline and OS thread counts, then deploy a modest fleet on the
+/// thread-per-module runtime to measure its threads-per-pipeline and
+/// extrapolate the capacity a 1024-thread box gives it. 1024 is the
+/// budget a default 8 MiB pthread stack size allows in 8 GiB of address
+/// space and the order of typical per-container pid limits — generous to
+/// the threaded runtime, which thrashes long before that on real cores.
+fn reactor_section(quick: bool, out: &mut String) {
+    const THREAD_BUDGET: f64 = 1024.0;
+    let n: usize = if quick { 1_500 } else { 10_000 };
+    let fps = if quick { 5.0 } else { 2.0 };
+    let wall = if quick {
+        Duration::from_millis(1200)
+    } else {
+        Duration::from_secs(3)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let (modules, services) = fleet_registries();
+    let config = || RuntimeConfig {
+        fps,
+        credits: 1,
+        ..RuntimeConfig::default()
+    };
+
+    // Reactor arm: the whole fleet on one worker pool.
+    let rss_before = vm_rss_kb();
+    let mut rt = ReactorRuntime::new(ReactorConfig::default());
+    let plan = fleet_plan("fleet");
+    for _ in 0..n {
+        rt.add_pipeline(&plan, &modules, &services, config())
+            .expect("fleet pipeline");
+    }
+    let reactor_threads = rt.thread_count();
+    let process_threads = os_threads();
+    let memory_per_pipeline_kb = (vm_rss_kb() - rss_before).max(0.0) / n as f64;
+    let started = Instant::now();
+    let reports = rt.run_for(wall);
+    let elapsed = started.elapsed().as_secs_f64();
+    let delivered: u64 = reports.iter().map(|r| r.metrics.frames_delivered).sum();
+    let live = reports
+        .iter()
+        .filter(|r| r.metrics.frames_delivered > 0)
+        .count();
+    let pipelines_per_core = live as f64 / cores as f64;
+
+    // Threaded arm: enough pipelines to measure threads-per-pipeline
+    // without swamping the runner, then extrapolate to the thread budget.
+    let m: usize = if quick { 12 } else { 48 };
+    let threads_before = os_threads();
+    let mut threaded = Vec::with_capacity(m);
+    for i in 0..m {
+        threaded.push(
+            LocalRuntime::deploy(&fleet_plan(&format!("t{i}")), &modules, &services, config())
+                .expect("threaded fleet pipeline"),
+        );
+    }
+    let threads_per_pipeline = (os_threads() - threads_before).max(0.0) / m as f64;
+    for runtime in threaded {
+        runtime.finish();
+    }
+    let threaded_capacity = THREAD_BUDGET / threads_per_pipeline.max(1.0);
+    let scale_x = live as f64 / threaded_capacity;
+
+    println!(
+        "reactor fleet: {live}/{n} pipelines live on {cores} core(s) \
+         ({pipelines_per_core:.0} per core), {reactor_threads} reactor threads \
+         ({process_threads:.0} process), {memory_per_pipeline_kb:.1} KiB/pipeline, \
+         {delivered} frames in {elapsed:.1}s"
+    );
+    println!(
+        "threaded runtime: {threads_per_pipeline:.1} threads/pipeline -> \
+         {threaded_capacity:.0} pipelines at a {THREAD_BUDGET:.0}-thread budget \
+         (reactor scale {scale_x:.1}x)"
+    );
+    let _ = writeln!(
+        out,
+        r#"  "reactor": {{"pipelines": {n}, "live_pipelines": {live}, "cores": {cores}, "reactor_threads": {reactor_threads}, "process_threads": {process_threads:.0}, "pipelines_per_core": {pipelines_per_core:.0}, "memory_per_pipeline_kb": {memory_per_pipeline_kb:.1}, "delivered": {delivered}, "threaded_threads_per_pipeline": {threads_per_pipeline:.1}, "threaded_capacity_at_1024_threads": {threaded_capacity:.0}, "scale_x": {scale_x:.1}}},"#
+    );
+}
+
+/// Reactor low-load latency cell: the saturation sweep's `low_load` shape
+/// (one worker, 40 req/s offered, batch=1, 2 ms modeled service) run on
+/// the reactor, so the p50/p99 are directly comparable with the threaded
+/// `saturation.low_load.batch1` cell of BENCH_PR6 — the acceptance bar is
+/// staying within 20% of it.
+fn reactor_low_load_section(quick: bool, out: &mut String) {
+    let duration = if quick {
+        Duration::from_millis(700)
+    } else {
+        Duration::from_secs(2)
+    };
+    let workers = 1usize;
+    let mut spec_src = ModuleSpec::new("src", "SatSource");
+    for w in 0..workers {
+        spec_src = spec_src.with_next(format!("w{w}"));
+    }
+    let mut spec = PipelineSpec::new("reactor-low-load").with_module(spec_src);
+    for w in 0..workers {
+        spec = spec.with_module(
+            ModuleSpec::new(format!("w{w}"), "SatWorker")
+                .with_service("work")
+                .with_next("sink"),
+        );
+    }
+    spec = spec.with_module(ModuleSpec::new("sink", "SatSink"));
+    let devices = vec![DeviceSpec::new("one", 1.0)
+        .with_containers(1)
+        .with_service("work")];
+    let mut placement = Placement::new().assign("src", "one").assign("sink", "one");
+    for w in 0..workers {
+        placement = placement.assign(format!("w{w}"), "one");
+    }
+    let plan = plan(&spec, &devices, &placement).expect("reactor low-load plan");
+
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let mut modules = ModuleRegistry::new();
+    modules.register("SatSource", move || {
+        Box::new(SatSource { workers: 1, seq: 0 })
+    });
+    let worker_latencies = Arc::clone(&latencies);
+    modules.register("SatWorker", move || {
+        Box::new(SatWorker {
+            latencies_us: Arc::clone(&worker_latencies),
+        })
+    });
+    modules.register("SatSink", move || {
+        Box::new(SatSink {
+            workers: 1,
+            seen: 0,
+        })
+    });
+    let mut services = ServiceRegistry::new();
+    services.install(Arc::new(ModeledWork));
+
+    let config = RuntimeConfig {
+        fps: 40.0,
+        time_scale: 1.0,
+        batch: BatchConfig::up_to(1),
+        ..RuntimeConfig::default()
+    };
+    let mut rt = ReactorRuntime::new(ReactorConfig::default());
+    rt.add_pipeline(&plan, &modules, &services, config)
+        .expect("deploy reactor low-load");
+    let _ = rt.run_for(duration);
+
+    let mut us = latencies.lock().unwrap().clone();
+    let warmup = if us.len() > 24 { us.len() / 8 } else { 0 };
+    us.drain(..warmup);
+    us.sort_by(f64::total_cmp);
+    let p50_ms = percentile(&us, 50.0) / 1e3;
+    let p99_ms = percentile(&us, 99.0) / 1e3;
+    println!("reactor low load (40 req/s, batch=1): p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms");
+    let _ = writeln!(
+        out,
+        r#"  "reactor_low_load": {{"p50_ms": {p50_ms:.2}, "p99_ms": {p99_ms:.2}}},"#
+    );
+}
+
 fn main() {
     let args = parse_args();
     println!(
@@ -1024,6 +1240,8 @@ fn main() {
     executor_section(args.quick, &mut json);
     mttr_section(&mut json);
     slo_section(args.quick, &mut json);
+    reactor_section(args.quick, &mut json);
+    reactor_low_load_section(args.quick, &mut json);
     saturation_section(args.quick, &mut json);
     json.push_str("}\n");
     std::fs::write(&args.out, &json).expect("write snapshot json");

@@ -30,6 +30,10 @@
 //! * [`runtime`] — the threaded local runtime executing deployments for
 //!   real, with per-module isolation, transparent cross-device frame
 //!   transcoding, and optional real-TCP cross-device transport.
+//! * [`reactor`] — the event-driven multi-pipeline executor: one worker
+//!   pool sized to cores runs module steps, service dispatch, pacer ticks
+//!   and watchers as scheduled tasks, so thread count stays O(cores) while
+//!   pipeline count scales to the tens of thousands.
 //! * [`slo`] — the per-pipeline SLO feedback controller: windowed-tail
 //!   observation over the metrics histograms, an ordered degradation knob
 //!   lattice, hysteresis and dwell.
@@ -60,6 +64,7 @@ pub mod health;
 pub mod message;
 pub mod metrics;
 pub mod module;
+pub mod reactor;
 pub mod resilience;
 pub mod runtime;
 pub mod service;
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use crate::message::{Header, Message, Payload};
     pub use crate::metrics::PipelineMetrics;
     pub use crate::module::{Event, Module, ModuleCtx, ModuleRegistry};
+    pub use crate::reactor::{ReactorConfig, ReactorRuntime};
     pub use crate::resilience::{DegradationPolicy, ResilienceConfig, RetryPolicy};
     pub use crate::runtime::{BatchConfig, LocalRuntime, RuntimeConfig};
     pub use crate::service::{Service, ServiceRegistry, ServiceRequest, ServiceResponse};

@@ -242,16 +242,16 @@ impl Default for RuntimeConfig {
 /// Routes a message to its destination channel: in-process when the
 /// destination lives on the sender's device (or in `Inproc` mode), over the
 /// destination device's TCP ingress socket otherwise.
-struct Router {
-    hub: InprocHub,
+pub(crate) struct Router {
+    pub(crate) hub: InprocHub,
     /// channel → owning device (empty in `Inproc` mode: everything local).
-    channel_device: HashMap<String, String>,
+    pub(crate) channel_device: HashMap<String, String>,
     /// device → TCP sender towards that device's ingress socket.
-    tcp_peers: HashMap<String, Arc<videopipe_net::tcp::TcpSender>>,
+    pub(crate) tcp_peers: HashMap<String, Arc<videopipe_net::tcp::TcpSender>>,
 }
 
 impl Router {
-    fn inproc(hub: InprocHub) -> Self {
+    pub(crate) fn inproc(hub: InprocHub) -> Self {
         Router {
             hub,
             channel_device: HashMap::new(),
@@ -259,7 +259,11 @@ impl Router {
         }
     }
 
-    fn send_from(&self, from_device: &str, msg: WireMessage) -> Result<(), PipelineError> {
+    pub(crate) fn send_from(
+        &self,
+        from_device: &str,
+        msg: WireMessage,
+    ) -> Result<(), PipelineError> {
         if let Some(dest_device) = self.channel_device.get(&msg.channel) {
             if dest_device != from_device {
                 if let Some(peer) = self.tcp_peers.get(dest_device) {
@@ -303,58 +307,101 @@ pub struct RunReport {
     pub slo_flaps: u64,
 }
 
+/// A condvar-backed shutdown latch: watcher threads (SLO controller,
+/// heartbeat senders, telemetry) park on it for their *full* interval —
+/// no periodic poll wakeups — and teardown wakes every waiter at once, so
+/// [`LocalRuntime::finish`] joins them in milliseconds regardless of how
+/// long their intervals are.
+pub(crate) struct ShutdownGate {
+    state: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl ShutdownGate {
+    pub(crate) fn new() -> Self {
+        ShutdownGate {
+            state: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes every thread parked in [`ShutdownGate::wait_shutdown`].
+    pub(crate) fn trigger(&self) {
+        let mut triggered = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *triggered = true;
+        self.cv.notify_all();
+    }
+
+    /// Parks for up to `dur`; returns `true` the moment shutdown is
+    /// triggered (possibly before `dur` elapses), `false` on a normal
+    /// interval expiry.
+    pub(crate) fn wait_shutdown(&self, dur: Duration) -> bool {
+        let guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard {
+            return true;
+        }
+        let (guard, _timeout) = self
+            .cv
+            .wait_timeout_while(guard, dur, |triggered| !*triggered)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
+}
+
 /// Shared state for one running pipeline.
-struct Shared {
-    hub: InprocHub,
-    router: Router,
-    stores: HashMap<String, Arc<FrameStore>>,
-    metrics: Mutex<PipelineMetrics>,
-    logs: Mutex<Vec<String>>,
-    errors: Mutex<Vec<String>>,
-    stop: AtomicBool,
-    epoch: Instant,
-    deliveries: AtomicU64,
-    config: RuntimeConfig,
-    breakers: Mutex<HashMap<String, CircuitBreaker>>,
-    restarts: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) hub: InprocHub,
+    pub(crate) router: Router,
+    pub(crate) stores: HashMap<String, Arc<FrameStore>>,
+    pub(crate) metrics: Mutex<PipelineMetrics>,
+    pub(crate) logs: Mutex<Vec<String>>,
+    pub(crate) errors: Mutex<Vec<String>>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) epoch: Instant,
+    pub(crate) deliveries: AtomicU64,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) breakers: Mutex<HashMap<String, CircuitBreaker>>,
+    pub(crate) restarts: AtomicU64,
     /// Pipeline fence epoch: bumped once per confirmed device loss;
     /// messages stamped with an older epoch are fenced by the pacer.
-    fence_epoch: AtomicU64,
+    pub(crate) fence_epoch: AtomicU64,
     /// Heartbeat failure detector (`None` when heartbeats are disabled).
-    detector: Mutex<Option<FailureDetector>>,
+    pub(crate) detector: Mutex<Option<FailureDetector>>,
     /// Latest module snapshots by module name, for checkpointed restarts.
-    checkpoints: Mutex<HashMap<String, Vec<u8>>>,
+    pub(crate) checkpoints: Mutex<HashMap<String, Vec<u8>>>,
     /// Devices whose heartbeat sender is suppressed (chaos hook).
-    muted_heartbeats: Mutex<HashSet<String>>,
+    pub(crate) muted_heartbeats: Mutex<HashSet<String>>,
     /// Live SLO knob actuators, written by the controller thread and read
     /// lock-free at the actuation sites (encode path, executor drain, pacer
     /// admission). All-baseline when no controller is configured.
-    knobs: KnobActuators,
+    pub(crate) knobs: KnobActuators,
+    /// Prompt-teardown latch for interval-driven watcher threads.
+    pub(crate) gate: ShutdownGate,
 }
 
 /// Lock-free actuation state for the SLO controller's knob lattice.
-struct KnobActuators {
+pub(crate) struct KnobActuators {
     /// Codec quality override for cross-device frames; `NO_QUALITY` (255)
     /// means "use the configured quality".
-    quality_shift: AtomicU8,
+    pub(crate) quality_shift: AtomicU8,
     /// Floor applied over every service's configured `max_batch`; 0 means
     /// no override.
-    batch_floor: AtomicUsize,
+    pub(crate) batch_floor: AtomicUsize,
     /// Source sampling divisor (1 = every camera tick).
-    sample_divisor: AtomicU32,
+    pub(crate) sample_divisor: AtomicU32,
     /// Shedding factor applied after sampling (1 = keep everything).
-    shed_one_in: AtomicU32,
+    pub(crate) shed_one_in: AtomicU32,
     /// Current lattice level, for telemetry and reports.
-    level: AtomicUsize,
+    pub(crate) level: AtomicUsize,
     /// Knob moves / direction reversals, mirrored from the controller.
-    moves: AtomicU64,
-    flaps: AtomicU64,
+    pub(crate) moves: AtomicU64,
+    pub(crate) flaps: AtomicU64,
 }
 
-const NO_QUALITY: u8 = u8::MAX;
+pub(crate) const NO_QUALITY: u8 = u8::MAX;
 
 impl KnobActuators {
-    fn baseline() -> Self {
+    pub(crate) fn baseline() -> Self {
         KnobActuators {
             quality_shift: AtomicU8::new(NO_QUALITY),
             batch_floor: AtomicUsize::new(0),
@@ -366,7 +413,7 @@ impl KnobActuators {
         }
     }
 
-    fn apply(&self, settings: KnobSettings, level: usize) {
+    pub(crate) fn apply(&self, settings: KnobSettings, level: usize) {
         self.quality_shift.store(
             settings.quality_shift.unwrap_or(NO_QUALITY),
             Ordering::Relaxed,
@@ -380,20 +427,20 @@ impl KnobActuators {
         self.level.store(level, Ordering::Relaxed);
     }
 
-    fn admit_stride(&self) -> u64 {
+    pub(crate) fn admit_stride(&self) -> u64 {
         u64::from(self.sample_divisor.load(Ordering::Relaxed).max(1))
             * u64::from(self.shed_one_in.load(Ordering::Relaxed).max(1))
     }
 }
 
 impl Shared {
-    fn now_ns(&self) -> u64 {
+    pub(crate) fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
     }
 
     /// The codec quality in effect right now: the SLO controller's override
     /// when one is applied, the configured quality otherwise.
-    fn effective_quality(&self) -> codec::Quality {
+    pub(crate) fn effective_quality(&self) -> codec::Quality {
         match self.knobs.quality_shift.load(Ordering::Relaxed) {
             shift if shift < 8 => codec::Quality::new(shift),
             _ => self.config.codec_quality,
@@ -403,7 +450,7 @@ impl Shared {
     /// The micro-batch ceiling in effect for `service` right now: the
     /// configured policy, raised to the controller's batch floor when the
     /// batch knob is engaged.
-    fn effective_max_batch(&self, service: &str) -> usize {
+    pub(crate) fn effective_max_batch(&self, service: &str) -> usize {
         self.config
             .batch_for(service)
             .max_batch
@@ -412,32 +459,32 @@ impl Shared {
     }
 }
 
-fn mod_chan(pipeline: &str, module: &str) -> String {
+pub(crate) fn mod_chan(pipeline: &str, module: &str) -> String {
     format!("mod/{pipeline}/{module}")
 }
-fn reply_chan(pipeline: &str, module: &str) -> String {
+pub(crate) fn reply_chan(pipeline: &str, module: &str) -> String {
     format!("rpl/{pipeline}/{module}")
 }
-fn svc_chan(device: &str, service: &str) -> String {
+pub(crate) fn svc_chan(device: &str, service: &str) -> String {
     format!("svc/{device}/{service}")
 }
-fn fc_chan(pipeline: &str) -> String {
+pub(crate) fn fc_chan(pipeline: &str) -> String {
     format!("fc/{pipeline}")
 }
-fn hb_chan(pipeline: &str) -> String {
+pub(crate) fn hb_chan(pipeline: &str) -> String {
     format!("hb/{pipeline}")
 }
 
 /// Wiring facts one module needs, derived from the plan.
-struct ModuleWiring {
-    name: String,
-    device: String,
+pub(crate) struct ModuleWiring {
+    pub(crate) name: String,
+    pub(crate) device: String,
     /// next module -> (channel, cross_device)
-    nexts: HashMap<String, (String, bool)>,
+    pub(crate) nexts: HashMap<String, (String, bool)>,
     /// service -> (channel, remote)
-    services: HashMap<String, (String, bool)>,
-    is_source: bool,
-    is_sink: bool,
+    pub(crate) services: HashMap<String, (String, bool)>,
+    pub(crate) is_source: bool,
+    pub(crate) is_sink: bool,
 }
 
 /// The execution context handed to module handlers.
@@ -851,6 +898,7 @@ impl LocalRuntime {
             checkpoints: Mutex::new(HashMap::new()),
             muted_heartbeats: Mutex::new(HashSet::new()),
             knobs: KnobActuators::baseline(),
+            gate: ShutdownGate::new(),
         });
         let mut threads = Vec::new();
 
@@ -868,13 +916,10 @@ impl LocalRuntime {
                         let mut controller = SloController::new(slo_cfg);
                         let interval = controller.config().interval;
                         let target_ms = controller.config().slo.p99.as_secs_f64() * 1e3;
-                        let mut last = Instant::now();
-                        while !shared_s.stop.load(Ordering::SeqCst) {
-                            std::thread::sleep(POLL.min(interval));
-                            if last.elapsed() < interval {
-                                continue;
-                            }
-                            last = Instant::now();
+                        // Park for the whole interval: the gate wakes this
+                        // thread the instant teardown starts, so a long
+                        // controller interval never delays `finish()`.
+                        while !shared_s.gate.wait_shutdown(interval) {
                             let (hist, queue_max) = {
                                 let metrics = shared_s.metrics.lock();
                                 let q = metrics
@@ -928,29 +973,31 @@ impl LocalRuntime {
                     std::thread::Builder::new()
                         .name(format!("hb-{device}"))
                         .spawn(move || {
-                            let mut last: Option<Instant> = None; // beat immediately
-                            while !shared_hb.stop.load(Ordering::SeqCst) {
-                                if last.is_none_or(|l| l.elapsed() >= interval) {
-                                    last = Some(Instant::now());
-                                    if !shared_hb.muted_heartbeats.lock().contains(&device) {
-                                        let _ = shared_hb.router.send_from(
-                                            &device,
-                                            WireMessage {
-                                                kind: MessageKind::Control,
-                                                channel: channel.clone(),
-                                                reply_to: String::new(),
-                                                corr_id: 0,
-                                                seq: 0,
-                                                timestamp_ns: shared_hb.now_ns(),
-                                                epoch: 0,
-                                                payload: bytes::Bytes::copy_from_slice(
-                                                    device.as_bytes(),
-                                                ),
-                                            },
-                                        );
-                                    }
+                            // Beat immediately, then once per interval; the
+                            // gate wakes the full-interval park on teardown.
+                            loop {
+                                if !shared_hb.stop.load(Ordering::SeqCst)
+                                    && !shared_hb.muted_heartbeats.lock().contains(&device)
+                                {
+                                    let _ = shared_hb.router.send_from(
+                                        &device,
+                                        WireMessage {
+                                            kind: MessageKind::Control,
+                                            channel: channel.clone(),
+                                            reply_to: String::new(),
+                                            corr_id: 0,
+                                            seq: 0,
+                                            timestamp_ns: shared_hb.now_ns(),
+                                            epoch: 0,
+                                            payload: bytes::Bytes::copy_from_slice(
+                                                device.as_bytes(),
+                                            ),
+                                        },
+                                    );
                                 }
-                                std::thread::sleep(interval.min(POLL));
+                                if shared_hb.gate.wait_shutdown(interval) {
+                                    break;
+                                }
                             }
                         })
                         .expect("spawn heartbeat sender"),
@@ -1129,13 +1176,8 @@ impl LocalRuntime {
                 std::thread::Builder::new()
                     .name(format!("telemetry-{pipeline}"))
                     .spawn(move || {
-                        let mut last = Instant::now();
-                        while !shared_t.stop.load(Ordering::SeqCst) {
-                            std::thread::sleep(POLL.min(interval));
-                            if last.elapsed() < interval {
-                                continue;
-                            }
-                            last = Instant::now();
+                        // Full-interval park; the gate ends it on teardown.
+                        while !shared_t.gate.wait_shutdown(interval) {
                             let mut snapshot = {
                                 let metrics = shared_t.metrics.lock();
                                 crate::telemetry::TelemetrySnapshot::from_metrics(
@@ -1277,38 +1319,45 @@ impl LocalRuntime {
     /// Stops all threads and collects the report.
     pub fn finish(self) -> RunReport {
         self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake every interval-parked watcher so joins are O(ms) even with
+        // multi-second heartbeat/SLO/telemetry intervals.
+        self.shared.gate.trigger();
         for t in self.threads {
             let _ = t.join();
         }
-        let run_duration_ns = self.shared.now_ns();
-        let mut metrics = self.shared.metrics.lock().clone();
-        metrics.run_duration_ns = run_duration_ns;
-        let breakers = self
-            .shared
-            .breakers
-            .lock()
-            .iter()
-            .map(|(name, b)| (name.clone(), b.snapshot()))
-            .collect();
-        let device_statuses = self
-            .shared
-            .detector
-            .lock()
-            .as_ref()
-            .map(|d| d.statuses(run_duration_ns))
-            .unwrap_or_default();
-        RunReport {
-            metrics,
-            logs: std::mem::take(&mut *self.shared.logs.lock()),
-            errors: std::mem::take(&mut *self.shared.errors.lock()),
-            restarts: self.shared.restarts.load(Ordering::Relaxed),
-            breakers,
-            device_statuses,
-            fence_epoch: self.shared.fence_epoch.load(Ordering::SeqCst),
-            slo_level: self.shared.knobs.level.load(Ordering::Relaxed),
-            slo_moves: self.shared.knobs.moves.load(Ordering::Relaxed),
-            slo_flaps: self.shared.knobs.flaps.load(Ordering::Relaxed),
-        }
+        collect_report(&self.shared)
+    }
+}
+
+/// Builds the end-of-run report from a pipeline's shared state (used by
+/// both the threaded runtime and the reactor).
+pub(crate) fn collect_report(shared: &Shared) -> RunReport {
+    let run_duration_ns = shared.now_ns();
+    let mut metrics = shared.metrics.lock().clone();
+    metrics.run_duration_ns = run_duration_ns;
+    let breakers = shared
+        .breakers
+        .lock()
+        .iter()
+        .map(|(name, b)| (name.clone(), b.snapshot()))
+        .collect();
+    let device_statuses = shared
+        .detector
+        .lock()
+        .as_ref()
+        .map(|d| d.statuses(run_duration_ns))
+        .unwrap_or_default();
+    RunReport {
+        metrics,
+        logs: std::mem::take(&mut *shared.logs.lock()),
+        errors: std::mem::take(&mut *shared.errors.lock()),
+        restarts: shared.restarts.load(Ordering::Relaxed),
+        breakers,
+        device_statuses,
+        fence_epoch: shared.fence_epoch.load(Ordering::SeqCst),
+        slo_level: shared.knobs.level.load(Ordering::Relaxed),
+        slo_moves: shared.knobs.moves.load(Ordering::Relaxed),
+        slo_flaps: shared.knobs.flaps.load(Ordering::Relaxed),
     }
 }
 
@@ -1321,7 +1370,7 @@ impl std::fmt::Debug for LocalRuntime {
     }
 }
 
-const POLL: Duration = Duration::from_millis(20);
+pub(crate) const POLL: Duration = Duration::from_millis(20);
 
 fn service_executor_loop(
     shared: Arc<Shared>,
@@ -1538,7 +1587,7 @@ fn service_executor_loop(
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -3037,6 +3086,7 @@ mod tests {
             checkpoints: Mutex::new(HashMap::new()),
             muted_heartbeats: Mutex::new(HashSet::new()),
             knobs: KnobActuators::baseline(),
+            gate: ShutdownGate::new(),
         });
         (shared, hub)
     }
@@ -3165,5 +3215,67 @@ mod tests {
             .expect("dispatch stats");
         assert!(dispatch.batches >= 1 && dispatch.batches <= dispatch.requests);
         assert!(report.metrics.credits_balanced(), "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn teardown_wakes_interval_parked_watchers_promptly() {
+        // Watchers park for their FULL interval on the shutdown gate. With
+        // multi-second heartbeat/SLO/telemetry intervals, a teardown that
+        // merely set the stop flag would block finish() for seconds; the
+        // gate must wake them in milliseconds.
+        let devices = vec![DeviceSpec::new("one", 1.0)
+            .with_containers(2)
+            .with_service("doubler")];
+        let placement = Placement::new()
+            .assign("src", "one")
+            .assign("mid", "one")
+            .assign("sink", "one");
+        let plan = plan(&test_spec(), &devices, &placement).unwrap();
+        let (modules, services) = registries();
+        let long = Duration::from_secs(30);
+        let config = RuntimeConfig {
+            fps: 100.0,
+            telemetry_interval: Some(long),
+            heartbeats: Some(HealthConfig {
+                heartbeat_interval: long,
+                lease: long * 4,
+                ..HealthConfig::default()
+            }),
+            slo: Some(crate::slo::SloConfig::p99(Duration::from_millis(100)).with_interval(long)),
+            ..RuntimeConfig::default()
+        };
+        let runtime = LocalRuntime::deploy(&plan, &modules, &services, config).unwrap();
+        // Let the pipeline actually move before tearing it down.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while runtime.deliveries() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let started = Instant::now();
+        let report = runtime.finish();
+        let teardown = started.elapsed();
+        assert!(report.metrics.frames_delivered >= 3);
+        assert!(
+            teardown < Duration::from_secs(1),
+            "teardown took {teardown:?} with 30 s watcher intervals"
+        );
+    }
+
+    #[test]
+    fn shutdown_gate_wakes_waiters_early() {
+        let gate = Arc::new(ShutdownGate::new());
+        let g = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let started = Instant::now();
+            assert!(g.wait_shutdown(Duration::from_secs(60)), "spurious expiry");
+            started.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        gate.trigger();
+        let waited = waiter.join().unwrap();
+        assert!(waited < Duration::from_secs(1), "woke after {waited:?}");
+        // Once triggered, later waits return immediately.
+        let started = Instant::now();
+        assert!(gate.wait_shutdown(Duration::from_secs(60)));
+        assert!(started.elapsed() < Duration::from_millis(100));
     }
 }

@@ -33,6 +33,7 @@ mod wire;
 pub use endpoint::{Endpoint, EndpointMode, EndpointTransport};
 pub use error::NetError;
 pub use inproc::{InprocHub, InprocReceiver, InprocSender};
+pub use tcp::PollEndpoint;
 pub use wire::{read_frame, write_frame, MessageKind, WireMessage, MAX_CHANNEL_LEN, MAX_FRAME_LEN};
 
 use std::time::Duration;

@@ -9,13 +9,13 @@
 //! briefly so bursts share a syscall.
 
 use crate::error::NetError;
-use crate::wire::{read_frame, WireMessage};
+use crate::wire::{read_frame, WireMessage, MAX_FRAME_LEN};
 use crate::{MsgReceiver, MsgSender};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -576,6 +576,155 @@ impl MsgSender for TcpSender {
     }
 }
 
+/// Bytes pulled off a socket per `read` call during a poll pass.
+const POLL_READ_CHUNK: usize = 16 * 1024;
+
+/// A non-blocking poll-mode TCP ingress: the same wire format as
+/// [`TcpListenerHandle`], but with *zero* background threads. One caller —
+/// typically a reactor I/O thread multiplexing many endpoints — drives
+/// [`PollEndpoint::poll`], which accepts pending peers, drains whatever
+/// bytes the kernel has buffered, and emits every completed frame into the
+/// provided sink. Partial frames stay in a per-connection reassembly buffer
+/// across calls, so frames may arrive byte-by-byte without ever blocking
+/// the poller.
+pub struct PollEndpoint {
+    listener: TcpListener,
+    local_port: u16,
+    conns: Vec<PollConn>,
+    accepted: u64,
+}
+
+struct PollConn {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl PollEndpoint {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) in non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: &str) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_port = listener.local_addr()?.port();
+        Ok(PollEndpoint {
+            listener,
+            local_port,
+            conns: Vec::new(),
+            accepted: 0,
+        })
+    }
+
+    /// The port actually bound (useful with port 0).
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// Currently open peer connections.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Peers accepted over the endpoint's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// One poll pass: accepts pending peers, reads every connection until
+    /// the kernel has nothing more, and feeds each completed frame to
+    /// `sink`. Dead or corrupt connections are dropped. Never blocks;
+    /// returns the number of frames delivered (0 means "nothing ready —
+    /// come back later").
+    pub fn poll(&mut self, sink: &mut dyn FnMut(WireMessage)) -> usize {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        let _ = stream.set_nodelay(true);
+                        self.accepted += 1;
+                        self.conns.push(PollConn {
+                            stream,
+                            buf: BytesMut::new(),
+                        });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let mut delivered = 0usize;
+        let mut chunk = [0u8; POLL_READ_CHUNK];
+        self.conns.retain_mut(|conn| {
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // Clean EOF: flush any complete frames already
+                        // buffered, then drop the connection.
+                        if let Ok(n) = drain_frames(&mut conn.buf, sink) {
+                            delivered += n;
+                        }
+                        return false;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        // Parse as we read so a fast peer cannot grow the
+                        // reassembly buffer beyond one partial frame.
+                        match drain_frames(&mut conn.buf, sink) {
+                            Ok(n) => delivered += n,
+                            Err(()) => return false, // corrupt stream
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            true
+        });
+        delivered
+    }
+}
+
+impl std::fmt::Debug for PollEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PollEndpoint")
+            .field("local_port", &self.local_port)
+            .field("connections", &self.conns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Decodes every complete length-prefixed frame at the front of `buf`,
+/// feeding each to `sink`. Leaves a trailing partial frame in place.
+/// `Err(())` means the stream is corrupt (implausible prefix or an
+/// undecodable body) and the connection must be closed.
+fn drain_frames(buf: &mut BytesMut, sink: &mut dyn FnMut(WireMessage)) -> Result<usize, ()> {
+    let mut delivered = 0usize;
+    loop {
+        if buf.len() < 4 {
+            return Ok(delivered);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(());
+        }
+        if buf.len() < 4 + len {
+            return Ok(delivered);
+        }
+        let _prefix = buf.split_to(4);
+        let body = buf.split_to(len);
+        match WireMessage::decode(&body) {
+            Ok(msg) => {
+                sink(msg);
+                delivered += 1;
+            }
+            Err(_) => return Err(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +979,107 @@ mod tests {
         assert_eq!(received.seq, 1, "backlog must replay in order");
         assert!(sender.reconnects() >= 1);
         assert_eq!(sender.dropped_frames(), 0);
+    }
+
+    #[test]
+    fn poll_endpoint_merges_peers_without_threads() {
+        let mut ep = PollEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", ep.local_port());
+        let s1 = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        let s2 = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        for i in 0..50u64 {
+            s1.send(WireMessage::signal("a", i)).unwrap();
+            s2.send(WireMessage::signal("b", i)).unwrap();
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.len() < 100 {
+            assert!(Instant::now() < deadline, "only {} frames", got.len());
+            let n = ep.poll(&mut |msg| got.push(msg));
+            if n == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(ep.connections(), 2);
+        assert_eq!(ep.accepted(), 2);
+        // Per-peer ordering survives the merge.
+        let a: Vec<u64> = got
+            .iter()
+            .filter(|m| m.channel == "a")
+            .map(|m| m.seq)
+            .collect();
+        let b: Vec<u64> = got
+            .iter()
+            .filter(|m| m.channel == "b")
+            .map(|m| m.seq)
+            .collect();
+        assert_eq!(a, (0..50).collect::<Vec<_>>());
+        assert_eq!(b, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poll_endpoint_reassembles_split_frames() {
+        let mut ep = PollEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", ep.local_port());
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.set_nodelay(true).unwrap();
+        let msg = WireMessage::data("chan", 42, 7, Bytes::from(vec![9u8; 300]));
+        let mut framed = BytesMut::new();
+        msg.encode_framed_into(&mut framed).unwrap();
+        // Dribble the frame one byte at a time across many poll passes.
+        let mut got = Vec::new();
+        for byte in framed.iter() {
+            raw.write_all(&[*byte]).unwrap();
+            raw.flush().unwrap();
+            ep.poll(&mut |m| got.push(m));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.is_empty() {
+            assert!(Instant::now() < deadline, "frame never reassembled");
+            ep.poll(&mut |m| got.push(m));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 42);
+        assert_eq!(got[0].payload.len(), 300);
+    }
+
+    #[test]
+    fn poll_endpoint_drops_corrupt_connection() {
+        let mut ep = PollEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", ep.local_port());
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        // An implausible length prefix (beyond MAX_FRAME_LEN).
+        raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        raw.flush().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            ep.poll(&mut |_| panic!("no frame should decode"));
+            if ep.accepted() == 1 && ep.connections() == 0 {
+                break; // accepted, then dropped as corrupt
+            }
+            assert!(Instant::now() < deadline, "corrupt peer never dropped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn poll_endpoint_handles_peer_disconnect() {
+        let mut ep = PollEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", ep.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        sender.send(WireMessage::signal("x", 1)).unwrap();
+        drop(sender);
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.is_empty() || ep.connections() > 0 {
+            assert!(Instant::now() < deadline, "disconnect never processed");
+            ep.poll(&mut |m| got.push(m));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The in-flight frame still arrived before the close was seen.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 1);
     }
 
     #[test]

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Hot-path + ML-kernel + dispatch-batching + self-healing + SLO-controller
-# performance snapshot: runs the bench_snapshot binary (release) and emits
-# BENCH_PR6.json at the workspace root (codec kernels, ML/vision kernels
-# vs their scalar oracles, encode-cache fan-out, inproc roundtrips,
-# executor draining, the service-dispatch saturation sweep, the
-# deterministic failover-MTTR cell, and the SLO flash-crowd cell with the
-# quality knob's measured accuracy cost).
+# + reactor-scale performance snapshot: runs the bench_snapshot binary
+# (release) and emits BENCH_PR7.json at the workspace root (codec kernels,
+# ML/vision kernels vs their scalar oracles, encode-cache fan-out, inproc
+# roundtrips, executor draining, the service-dispatch saturation sweep,
+# the deterministic failover-MTTR cell, the SLO flash-crowd cell with the
+# quality knob's measured accuracy cost, and the reactor fleet cells —
+# pipelines per core, memory per pipeline, OS thread count and the
+# threaded-runtime comparison arm — plus the reactor low-load latency
+# cell comparable to BENCH_PR6's saturation.low_load).
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
 #   --quick    shrink iteration counts (CI smoke; numbers are noisier)
-#   --out PATH write the JSON somewhere else (default BENCH_PR6.json)
+#   --out PATH write the JSON somewhere else (default BENCH_PR7.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

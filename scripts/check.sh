@@ -200,6 +200,58 @@ if ! slo_gate target/bench_smoke.json; then
         --quick --out target/bench_smoke.json
     slo_gate target/bench_smoke.json
 fi
+
+echo "==> reactor scale gates (vs committed BENCH_PR7.json)"
+# Three probes on the reactor fleet cell. The committed baseline is a
+# full-mode 10k-pipeline run while the smoke run deploys 1.5k, so the
+# liveness floor is normalised per deployed pipeline: the fraction of
+# deployed pipelines that delivered, per core, must stay within 80% of the
+# committed fraction (on the same runner both are simply "every pipeline
+# delivered"). The memory ceiling compares KiB per pipeline directly
+# (50% slack for allocator noise at the smaller fleet). The thread
+# assertion is absolute: an inproc fleet must run on at most cores + 2
+# threads (workers + timer), whatever the pipeline count — the property
+# the reactor exists to provide.
+reactor_gate() { # reactor_gate SNAPSHOT -> 0 if scale, memory and threads hold
+    local snapshot="$1"
+    base_ppc=$(extract BENCH_PR7.json reactor pipelines_per_core)
+    base_n=$(extract BENCH_PR7.json reactor pipelines)
+    base_mem=$(extract BENCH_PR7.json reactor memory_per_pipeline_kb)
+    now_ppc=$(extract "$snapshot" reactor pipelines_per_core)
+    now_n=$(extract "$snapshot" reactor pipelines)
+    now_mem=$(extract "$snapshot" reactor memory_per_pipeline_kb)
+    now_threads=$(extract "$snapshot" reactor reactor_threads)
+    now_cores=$(extract "$snapshot" reactor cores)
+    awk -v bppc="$base_ppc" -v bn="$base_n" -v bmem="$base_mem" \
+        -v ppc="$now_ppc" -v n="$now_n" -v mem="$now_mem" \
+        -v threads="$now_threads" -v cores="$now_cores" 'BEGIN {
+        if (bppc == "" || bn == "" || bmem == "" || ppc == "" || n == "" || mem == "" || threads == "" || cores == "") {
+            printf "FAIL: reactor cell missing from snapshot or baseline\n"
+            exit 1
+        }
+        floor = 0.8 * (bppc / bn)
+        if (ppc / n < floor) {
+            printf "FAIL: reactor liveness regressed: %.2f live/core per deployed pipeline < floor %.2f\n", ppc / n, floor
+            exit 1
+        }
+        ceiling = bmem * 1.5
+        if (mem + 0 > ceiling) {
+            printf "FAIL: reactor memory regressed: %.1f KiB/pipeline > 150%% of committed %.1f\n", mem, bmem
+            exit 1
+        }
+        if (threads + 0 > cores + 2) {
+            printf "FAIL: reactor thread count not O(cores): %d threads > %d cores + 2\n", threads, cores
+            exit 1
+        }
+        printf "ok: reactor %s pipelines live/core (of %s deployed), %.1f KiB/pipeline (ceiling %.1f), %d threads on %d core(s)\n", ppc, n, mem, ceiling, threads, cores
+    }' || return 1
+}
+if ! reactor_gate target/bench_smoke.json; then
+    echo "reactor gate missed; re-measuring once to rule out a perturbed runner"
+    cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
+        --quick --out target/bench_smoke.json
+    reactor_gate target/bench_smoke.json
+fi
 rm -f target/bench_smoke.json
 
 echo "==> ml scalar-oracle routing (--features force-scalar)"
