@@ -14,9 +14,12 @@
 //! with the quality knob's accuracy cost measured end-to-end) — plus the
 //! reactor scale cells (`pipelines_per_core`, `memory_per_pipeline`, OS
 //! thread count, and the threaded-runtime comparison arm that quantifies
-//! the thread-per-module ceiling) and the reactor low-load latency cell
-//! (comparable to the saturation `low_load` cell of BENCH_PR6) — and
-//! writes the results to `BENCH_PR7.json` (override with `--out`).
+//! the thread-per-module ceiling), the reactor low-load latency cell
+//! (comparable to the saturation `low_load` cell of BENCH_PR6), and the
+//! multi-core `reactor_scaling` sweep (the same CPU-bound fleet drained
+//! at `workers=1` vs `workers=cores`, with work-stealing and wake
+//! counters; skipped with an explicit marker on single-core runners) —
+//! and writes the results to `BENCH_PR8.json` (override with `--out`).
 //! `--quick` shrinks iteration counts so the run doubles as a CI smoke
 //! test.
 //!
@@ -51,7 +54,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR7.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -439,81 +442,109 @@ fn roundtrip_section(quick: bool, out: &mut String) {
     );
 }
 
-/// Drains a burst of requests through `consumers` competing executors
-/// (cloned MPMC receivers), each simulating ~30 us of handler work.
-/// Returns requests per second.
-fn drain_throughput(consumers: usize, requests: usize) -> f64 {
-    let hub = InprocHub::new();
-    let pool_rx = hub.bind("pool").expect("bind pool");
-    let done_rx = hub.bind("done").expect("bind done");
-    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let mut workers = Vec::new();
-    for _ in 0..consumers {
-        let rx = pool_rx.clone();
-        let hub = hub.clone();
-        let stop = std::sync::Arc::clone(&stop);
-        workers.push(std::thread::spawn(move || {
-            let done_tx = hub.connect("done").expect("connect done");
-            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
-                match rx.recv_timeout(Duration::from_millis(10)) {
-                    Ok(msg) => {
-                        // Emulated handler cost, CPU-bound like a real one.
-                        let t = Instant::now();
-                        while t.elapsed() < Duration::from_micros(30) {
-                            std::hint::spin_loop();
-                        }
-                        let _ = done_tx.send(WireMessage::signal("done", msg.seq));
-                    }
-                    Err(_) => continue,
-                }
-            }
-        }));
+/// CPU-bound service for the scaling sweep: each call burns ~80 us of
+/// real CPU, so the fleet's aggregate demand far exceeds one core and
+/// extra reactor workers translate into measurable throughput.
+struct SpinWork;
+impl Service for SpinWork {
+    fn name(&self) -> &str {
+        "double"
     }
-    let tx = hub.connect("pool").expect("connect pool");
-    let start = Instant::now();
-    for seq in 0..requests as u64 {
-        tx.send(WireMessage::signal("pool", seq)).expect("enqueue");
+    fn handle(
+        &self,
+        request: &ServiceRequest,
+        _store: &FrameStore,
+    ) -> Result<ServiceResponse, PipelineError> {
+        let t = Instant::now();
+        while t.elapsed() < Duration::from_micros(80) {
+            std::hint::spin_loop();
+        }
+        match request.payload {
+            Payload::Count(n) => Ok(ServiceResponse::new(Payload::Count(n.wrapping_mul(2)))),
+            ref other => Err(PipelineError::Service {
+                service: "double".into(),
+                reason: format!("expected count, got {}", other.kind_name()),
+            }),
+        }
     }
-    for _ in 0..requests {
-        done_rx
-            .recv_timeout(Duration::from_secs(30))
-            .expect("drain completion");
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    stop.store(true, std::sync::atomic::Ordering::SeqCst);
-    for w in workers {
-        let _ = w.join();
-    }
-    requests as f64 / elapsed
 }
 
-/// Multi-executor dispatch throughput at 1 vs 4 competing executors.
+/// One arm of the scaling sweep: a credit-clocked fleet (fps far above
+/// what the CPU can serve, so delivery rate tracks compute capacity) on a
+/// reactor with `workers` workers. Returns frames/s and the per-worker
+/// scheduler stats snapshot from the run report.
+fn scaling_arm(
+    workers: usize,
+    pipelines: usize,
+    wall: Duration,
+) -> (f64, Vec<videopipe_core::metrics::WorkerSchedStats>) {
+    let (modules, _) = fleet_registries();
+    let mut services = ServiceRegistry::new();
+    services.install(Arc::new(SpinWork));
+    let mut rt = ReactorRuntime::new(ReactorConfig {
+        workers,
+        ..ReactorConfig::default()
+    });
+    let plan = fleet_plan("scale");
+    for _ in 0..pipelines {
+        let config = RuntimeConfig {
+            fps: 1_000.0,
+            credits: 2,
+            time_scale: 1.0,
+            ..RuntimeConfig::default()
+        };
+        rt.add_pipeline(&plan, &modules, &services, config)
+            .expect("scaling pipeline");
+    }
+    let started = Instant::now();
+    let reports = rt.run_for(wall);
+    let elapsed = started.elapsed().as_secs_f64();
+    let delivered: u64 = reports.iter().map(|r| r.metrics.frames_delivered).sum();
+    let sched = reports
+        .first()
+        .map(|r| r.scheduler.clone())
+        .unwrap_or_default();
+    (delivered as f64 / elapsed, sched)
+}
+
+/// Multi-core reactor scaling: the same CPU-bound fleet drained at
+/// `workers=1` vs `workers=cores`, with the stealing/wake counters of the
+/// multi-worker arm. Replaces the retired `multi_executor` cell — the
+/// reactor's own worker pool is now the multi-core dispatch path.
 ///
 /// On a single-core runner the comparison measures scheduler thrash, not
-/// parallel draining, so it is skipped with an explicit marker instead of
-/// emitting misleading numbers.
-fn executor_section(quick: bool, out: &mut String) {
+/// parallel draining, so it is skipped with an explicit marker (carrying
+/// the detected core count) instead of emitting misleading numbers.
+fn reactor_scaling_section(quick: bool, out: &mut String) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     if cores < 2 {
-        println!("executor drain: skipped (single core)");
+        println!("reactor scaling: skipped (single core)");
         let _ = writeln!(
             out,
-            r#"  "multi_executor": {{"cores": {cores}, "skipped": "single core"}},"#
+            r#"  "reactor_scaling": {{"cores_detected": {cores}, "skipped": "single core"}},"#
         );
         return;
     }
-    let requests = if quick { 1500 } else { 8000 };
-    let rps1 = drain_throughput(1, requests);
-    let rps4 = drain_throughput(4, requests);
+    let pipelines = if quick { 48 } else { 128 };
+    let wall = if quick {
+        Duration::from_millis(900)
+    } else {
+        Duration::from_secs(3)
+    };
+    let (fps1, _) = scaling_arm(1, pipelines, wall);
+    let (fps_max, sched) = scaling_arm(cores, pipelines, wall);
+    let speedup = if fps1 > 0.0 { fps_max / fps1 } else { 0.0 };
+    let steals_attempted: u64 = sched.iter().map(|w| w.steals_attempted).sum();
+    let steals_succeeded: u64 = sched.iter().map(|w| w.steals_succeeded).sum();
+    let unparks: u64 = sched.iter().map(|w| w.unparks).sum();
     println!(
-        "executor drain ({requests} reqs, ~30 us work, {cores} cores): 1 executor \
-         {rps1:.0} req/s -> 4 executors {rps4:.0} req/s ({:+.1}%)",
-        improvement_pct(rps1, rps4)
+        "reactor scaling ({pipelines} pipelines, ~80 us service, {cores} cores): \
+         1 worker {fps1:.0} f/s -> {cores} workers {fps_max:.0} f/s ({speedup:.2}x); \
+         steals {steals_succeeded}/{steals_attempted}, unparks {unparks}"
     );
     let _ = writeln!(
         out,
-        r#"  "multi_executor": {{"cores": {cores}, "one_executor_rps": {rps1:.0}, "four_executor_rps": {rps4:.0}, "improvement_pct": {:.1}}},"#,
-        improvement_pct(rps1, rps4),
+        r#"  "reactor_scaling": {{"cores_detected": {cores}, "max_workers": {cores}, "pipelines": {pipelines}, "workers_1_fps": {fps1:.0}, "workers_max_fps": {fps_max:.0}, "speedup_x": {speedup:.2}, "steals_attempted": {steals_attempted}, "steals_succeeded": {steals_succeeded}, "unparks": {unparks}}},"#
     );
 }
 
@@ -1099,12 +1130,20 @@ fn reactor_section(quick: bool, out: &mut String) {
             .expect("fleet pipeline");
     }
     let reactor_threads = rt.thread_count();
+    let reactor_workers = rt.scheduler_stats().len();
     let process_threads = os_threads();
     let memory_per_pipeline_kb = (vm_rss_kb() - rss_before).max(0.0) / n as f64;
     let started = Instant::now();
     let reports = rt.run_for(wall);
     let elapsed = started.elapsed().as_secs_f64();
     let delivered: u64 = reports.iter().map(|r| r.metrics.frames_delivered).sum();
+    let sched = reports
+        .first()
+        .map(|r| r.scheduler.clone())
+        .unwrap_or_default();
+    let tasks_run: u64 = sched.iter().map(|w| w.tasks_run).sum();
+    let steals_succeeded: u64 = sched.iter().map(|w| w.steals_succeeded).sum();
+    let unparks: u64 = sched.iter().map(|w| w.unparks).sum();
     let live = reports
         .iter()
         .filter(|r| r.metrics.frames_delivered > 0)
@@ -1142,7 +1181,7 @@ fn reactor_section(quick: bool, out: &mut String) {
     );
     let _ = writeln!(
         out,
-        r#"  "reactor": {{"pipelines": {n}, "live_pipelines": {live}, "cores": {cores}, "reactor_threads": {reactor_threads}, "process_threads": {process_threads:.0}, "pipelines_per_core": {pipelines_per_core:.0}, "memory_per_pipeline_kb": {memory_per_pipeline_kb:.1}, "delivered": {delivered}, "threaded_threads_per_pipeline": {threads_per_pipeline:.1}, "threaded_capacity_at_1024_threads": {threaded_capacity:.0}, "scale_x": {scale_x:.1}}},"#
+        r#"  "reactor": {{"pipelines": {n}, "live_pipelines": {live}, "cores": {cores}, "reactor_workers": {reactor_workers}, "reactor_threads": {reactor_threads}, "process_threads": {process_threads:.0}, "pipelines_per_core": {pipelines_per_core:.0}, "memory_per_pipeline_kb": {memory_per_pipeline_kb:.1}, "delivered": {delivered}, "tasks_run": {tasks_run}, "steals_succeeded": {steals_succeeded}, "unparks": {unparks}, "threaded_threads_per_pipeline": {threads_per_pipeline:.1}, "threaded_capacity_at_1024_threads": {threaded_capacity:.0}, "scale_x": {scale_x:.1}}},"#
     );
 }
 
@@ -1207,6 +1246,7 @@ fn reactor_low_load_section(quick: bool, out: &mut String) {
         ..RuntimeConfig::default()
     };
     let mut rt = ReactorRuntime::new(ReactorConfig::default());
+    let reactor_workers = rt.scheduler_stats().len();
     rt.add_pipeline(&plan, &modules, &services, config)
         .expect("deploy reactor low-load");
     let _ = rt.run_for(duration);
@@ -1220,7 +1260,7 @@ fn reactor_low_load_section(quick: bool, out: &mut String) {
     println!("reactor low load (40 req/s, batch=1): p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms");
     let _ = writeln!(
         out,
-        r#"  "reactor_low_load": {{"p50_ms": {p50_ms:.2}, "p99_ms": {p99_ms:.2}}},"#
+        r#"  "reactor_low_load": {{"reactor_workers": {reactor_workers}, "p50_ms": {p50_ms:.2}, "p99_ms": {p99_ms:.2}}},"#
     );
 }
 
@@ -1231,13 +1271,15 @@ fn main() {
         if args.quick { "quick" } else { "full" },
         args.out
     );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"quick\": {},", args.quick);
+    let _ = writeln!(json, "  \"cores_detected\": {cores},");
     codec_section(args.quick, &mut json);
     ml_section(args.quick, &mut json);
     fanout_section(args.quick, &mut json);
     roundtrip_section(args.quick, &mut json);
-    executor_section(args.quick, &mut json);
+    reactor_scaling_section(args.quick, &mut json);
     mttr_section(&mut json);
     slo_section(args.quick, &mut json);
     reactor_section(args.quick, &mut json);

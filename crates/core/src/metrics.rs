@@ -242,6 +242,33 @@ impl DispatchStats {
     }
 }
 
+/// Per-worker scheduler counters from the reactor's multi-core scheduler
+/// (one entry per worker thread, never per task — deliberately
+/// low-cardinality). Attached to every [`RunReport`] produced by a
+/// `ReactorRuntime` and surfaced in the bench artifact, so scheduling
+/// pathologies (steal storms, one hot home worker, wake contention) show
+/// up in the numbers instead of a profiler.
+///
+/// [`RunReport`]: crate::runtime::RunReport
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSchedStats {
+    /// Worker index in the pool.
+    pub worker: usize,
+    /// Tasks this worker executed (from any queue, own or stolen).
+    pub tasks_run: u64,
+    /// Steal sweeps this worker initiated after finding its own and the
+    /// global queues dry.
+    pub steals_attempted: u64,
+    /// Steal sweeps that returned a task.
+    pub steals_succeeded: u64,
+    /// Deepest local run-queue depth observed at push time.
+    pub queue_high_water: u64,
+    /// Timer-wheel entries fired from this worker's wheel shard.
+    pub timer_fires: u64,
+    /// Times this worker was unparked by a targeted wake.
+    pub unparks: u64,
+}
+
 /// Metrics for one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineMetrics {

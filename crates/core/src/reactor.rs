@@ -11,13 +11,24 @@
 //! * **Tasks, not threads.** Every module, service host and pacer is a
 //!   task with a 4-state readiness machine (idle → queued → running →
 //!   dirty). Message sends wake the destination task through a deploy-time
-//!   channel→task map; all routing decisions are made at deploy, so the
-//!   steady-state loop is straight-line.
+//!   channel→task map, frozen into an immutable per-pipeline snapshot at
+//!   the end of `add_pipeline` so the steady-state send path takes no lock
+//!   and allocates nothing.
+//! * **Per-worker queues with stealing.** Each worker owns a LIFO slot
+//!   (just-woken task: warm producer→consumer handoff), two bounded local
+//!   FIFO queues (split by blocking capability) and a targeted parker —
+//!   a push wakes one parked worker, never a broadcast. Every pipeline has
+//!   a *home worker* assigned at deploy, so its module steps, service
+//!   dispatch and watcher ticks tend to share a core; idle workers steal
+//!   from siblings (randomized victim sweep) as the escape valve under
+//!   imbalance, and local-queue overflow spills to a pair of global MPMC
+//!   queues visible to all.
 //! * **Timer wheel, not sleeps.** Pacer ticks, SLO/heartbeat/telemetry
 //!   intervals, checkpoint periods and *modeled service costs* are entries
-//!   on a coalescing timer wheel served by one thread. A slow modeled
-//!   service defers its replies through the wheel instead of occupying a
-//!   worker, so it cannot starve co-hosted services.
+//!   on a coalescing timer wheel, sharded per worker so 10k pipelines'
+//!   recurring ticks don't serialize on one mutex, served by one thread. A
+//!   slow modeled service defers its replies through the wheel instead of
+//!   occupying a worker, so it cannot starve co-hosted services.
 //! * **Wait by helping.** [`ModuleCtx::call_service`] is synchronous by
 //!   contract. A module task waiting for a reply runs *other* ready tasks
 //!   inline instead of parking its worker. Helpers above a bounded depth
@@ -79,6 +90,15 @@ pub struct ReactorConfig {
     /// Messages one module task drains per scheduling quantum before
     /// yielding its worker.
     pub module_quantum: usize,
+    /// Whether idle workers steal from sibling local queues. On by
+    /// default; turning it off pins every pipeline strictly to its home
+    /// worker (useful for isolating scheduling experiments). Non-worker
+    /// threads helping their own service calls always sweep regardless.
+    pub steal: bool,
+    /// Overrides the home worker for *every* pipeline deployed to this
+    /// runtime (modulo worker count). `None` (the default) assigns
+    /// pipeline `i` to worker `i % workers` at deploy time.
+    pub affinity: Option<usize>,
 }
 
 impl Default for ReactorConfig {
@@ -88,6 +108,8 @@ impl Default for ReactorConfig {
             help_depth: 1,
             timer_granularity: Duration::from_micros(200),
             module_quantum: 32,
+            steal: true,
+            affinity: None,
         }
     }
 }
@@ -115,14 +137,42 @@ const DIRTY: u8 = 3;
 /// and no helpable work is available.
 const HELP_PARK: Duration = Duration::from_micros(200);
 
+/// How long an idle worker parks before re-polling its queues. A push
+/// that races a worker's park entry may lose its wake; the timeout bounds
+/// the cost of that race to latency, never progress.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
 /// Batches one service task dispatches per quantum before yielding.
 const SERVICE_BATCH_QUANTUM: usize = 4;
+
+/// Bounded per-worker local run-queue depth. Beyond this, pushes spill to
+/// the global overflow queues, so one hot pipeline cannot grow its home
+/// worker's queue without bound — and spilled tasks become visible to
+/// every worker, which doubles as a pressure valve.
+const LOCAL_QUEUE_CAP: usize = 256;
+
+/// Frames one TCP endpoint may deliver per I/O poll pass before the
+/// shared I/O thread moves on to its siblings.
+const IO_POLL_BUDGET: usize = 256;
 
 /// Per-device frame-store capacity under the reactor. Small on purpose:
 /// in-flight frames per pipeline are bounded by credits, and 10k pipelines
 /// each carrying the threaded default would dominate the memory budget.
 /// The store evicts oldest-first beyond this.
 const REACTOR_STORE_CAPACITY: usize = 16;
+
+/// Pads and aligns a value to a cache line so per-worker hot state (queue
+/// locks, stats counters, timer shards) and the task table's state bytes
+/// never false-share a line with their neighbours.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
 
 /// One unit of schedulable work.
 trait TaskRunner: Send {
@@ -134,45 +184,137 @@ trait TaskRunner: Send {
 }
 
 struct Task {
-    id: usize,
+    /// Home worker (pipeline affinity): wakes from off-worker threads
+    /// (timer, I/O, deploy) land on this worker's local queue so one
+    /// pipeline's tasks tend to share a core; stealing is the escape
+    /// valve under imbalance.
+    home: usize,
     /// Module tasks may block (wait-by-helping) inside `call_service`;
     /// everything else never blocks and is always safe to help with.
     blocking: bool,
-    state: AtomicU8,
+    /// The 4-state readiness machine, padded so the wake CAS on one task
+    /// never contends with a neighbouring task's state line.
+    state: CachePadded<AtomicU8>,
     runner: Mutex<Box<dyn TaskRunner>>,
 }
 
-/// Wakes idle workers when work is enqueued. Lost wakeups are tolerated:
-/// workers re-poll on a short timeout, so a missed ring costs bounded
+/// One worker's park/unpark latch. Unlike the old pool-wide doorbell,
+/// wakes are *targeted*: a push unparks at most one specific worker — no
+/// broadcast, no thundering herd. `notified` makes an unpark that lands
+/// just before the park call stick; the remaining race window (a push
+/// between a worker's last queue check and its park) is tolerated because
+/// workers re-poll on [`IDLE_PARK`], so a missed wake costs bounded
 /// latency, never progress.
-struct Doorbell {
+struct Parker {
+    /// Advisory "inside park": wake targeting scans this.
+    idle: AtomicBool,
+    /// A pending unpark not yet consumed by a park.
+    notified: AtomicBool,
     mutex: std::sync::Mutex<()>,
     cv: std::sync::Condvar,
 }
 
-impl Doorbell {
+impl Parker {
     fn new() -> Self {
-        Doorbell {
+        Parker {
+            idle: AtomicBool::new(false),
+            notified: AtomicBool::new(false),
             mutex: std::sync::Mutex::new(()),
             cv: std::sync::Condvar::new(),
         }
     }
 
-    fn ring(&self) {
-        self.cv.notify_one();
+    fn park(&self, timeout: Duration) {
+        if self.notified.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.idle.store(true, Ordering::SeqCst);
+        {
+            let guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-check under the lock: an unpark between the first check
+            // and here has set `notified` and must not be slept through.
+            if !self.notified.swap(false, Ordering::SeqCst) {
+                let _ = self
+                    .cv
+                    .wait_timeout(guard, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                self.notified.store(false, Ordering::SeqCst);
+            }
+        }
+        self.idle.store(false, Ordering::SeqCst);
     }
 
-    fn ring_all(&self) {
-        self.cv.notify_all();
+    fn unpark(&self) {
+        self.notified.store(true, Ordering::SeqCst);
+        if self.idle.load(Ordering::SeqCst) {
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_one();
+        }
     }
+}
 
-    fn wait(&self, timeout: Duration) {
-        let guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = self
-            .cv
-            .wait_timeout(guard, timeout)
-            .unwrap_or_else(|e| e.into_inner());
+/// Per-worker scheduler counters (low-cardinality: one set per worker
+/// thread, never per task). Snapshotted into [`WorkerSchedStats`] for
+/// reports and the bench artifact.
+struct WorkerStats {
+    tasks_run: AtomicU64,
+    steals_attempted: AtomicU64,
+    steals_succeeded: AtomicU64,
+    queue_high_water: AtomicU64,
+    timer_fires: AtomicU64,
+    unparks: AtomicU64,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            tasks_run: AtomicU64::new(0),
+            steals_attempted: AtomicU64::new(0),
+            steals_succeeded: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            timer_fires: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+        }
     }
+}
+
+/// One worker's scheduling state: a LIFO slot for the just-woken task, a
+/// pair of bounded FIFO local queues split by blocking capability, a
+/// targeted parker and the scheduler counters. Each `WorkerQueue` lives
+/// in its own cache line(s); siblings touch it only to push affine work
+/// or to steal.
+struct WorkerQueue {
+    /// The task most recently woken *by this worker* — usually the
+    /// consumer of a message it just produced. Running it next keeps the
+    /// producer→consumer handoff on warm caches.
+    lifo: Mutex<Option<Arc<Task>>>,
+    /// Non-blocking local tasks (service dispatch, pacers, watchers).
+    nb_local: Mutex<VecDeque<Arc<Task>>>,
+    /// Blocking-capable module tasks (runnable only within `help_depth`).
+    md_local: Mutex<VecDeque<Arc<Task>>>,
+    parker: Parker,
+    /// Owner-only xorshift state for randomized steal victim selection.
+    steal_seed: AtomicU64,
+    stats: WorkerStats,
+}
+
+impl WorkerQueue {
+    fn new(seed: u64) -> Self {
+        WorkerQueue {
+            lifo: Mutex::new(None),
+            nb_local: Mutex::new(VecDeque::new()),
+            md_local: Mutex::new(VecDeque::new()),
+            parker: Parker::new(),
+            steal_seed: AtomicU64::new(seed | 1),
+            stats: WorkerStats::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Index of the current thread in its reactor's worker pool;
+    /// `usize::MAX` on non-worker threads (timer, I/O, deploy).
+    static WORKER_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
 /// Deferred work on the timer wheel.
@@ -183,56 +325,73 @@ enum TimerEntry {
     /// modeled service cost: the replies exist, the latency is modeled by
     /// the wheel instead of a sleeping worker).
     Deliver {
-        pipeline: usize,
-        shared: Arc<Shared>,
+        pipe: Arc<PipeRt>,
         from_device: String,
         msgs: Vec<WireMessage>,
     },
 }
 
-/// A coalescing timer wheel: deadlines quantize into per-tick buckets; one
-/// thread sleeps until the earliest bucket and fires everything due.
-/// Entries due on the same tick share one wakeup.
+/// A coalescing timer wheel, sharded per worker: a pipeline's deadlines
+/// (pacer ticks, watcher sweeps, deferred modeled costs) land in its home
+/// worker's shard, so 10k pipelines arming recurring ticks lock 1/Nth of
+/// the wheel instead of serializing on one mutex. One thread still serves
+/// every shard: it sleeps towards the earliest armed tick — maintained as
+/// an atomic lower bound with `fetch_min` — and fires everything due
+/// across all shards in one sweep. Entries due on the same tick share one
+/// wakeup, and recurring-tick dedup lives in [`Rearm`] exactly as before.
+/// One timer-wheel shard: due tick → entries, padded to its own line.
+type WheelShard = CachePadded<std::sync::Mutex<std::collections::BTreeMap<u64, Vec<TimerEntry>>>>;
+
 struct TimerWheel {
     granularity_ns: u64,
     origin: Instant,
-    slots: std::sync::Mutex<std::collections::BTreeMap<u64, Vec<TimerEntry>>>,
+    shards: Vec<WheelShard>,
+    /// Lower bound on the earliest armed tick across all shards
+    /// (`u64::MAX` when the bound is unknown or nothing is armed).
+    earliest: AtomicU64,
+    sleep_mutex: std::sync::Mutex<()>,
     cv: std::sync::Condvar,
 }
 
 impl TimerWheel {
-    fn new(granularity: Duration) -> Self {
+    fn new(granularity: Duration, shards: usize) -> Self {
         TimerWheel {
             granularity_ns: (granularity.as_nanos() as u64).max(1),
             origin: Instant::now(),
-            slots: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+            shards: (0..shards.max(1))
+                .map(|_| CachePadded(std::sync::Mutex::new(std::collections::BTreeMap::new())))
+                .collect(),
+            earliest: AtomicU64::new(u64::MAX),
+            sleep_mutex: std::sync::Mutex::new(()),
             cv: std::sync::Condvar::new(),
         }
     }
 
-    fn schedule(&self, at: Instant, entry: TimerEntry) {
+    fn schedule(&self, shard: usize, at: Instant, entry: TimerEntry) {
         let ns = at.saturating_duration_since(self.origin).as_nanos() as u64;
         let tick = ns.div_ceil(self.granularity_ns);
-        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        let earlier = slots
-            .first_key_value()
-            .is_none_or(|(first, _)| tick < *first);
-        slots.entry(tick).or_default().push(entry);
-        drop(slots);
-        if earlier {
+        {
+            let shard = &self.shards[shard % self.shards.len()];
+            let mut slots = shard.lock().unwrap_or_else(|e| e.into_inner());
+            slots.entry(tick).or_default().push(entry);
+        }
+        if self.earliest.fetch_min(tick, Ordering::SeqCst) > tick {
             // The wheel thread may be sleeping towards a later deadline.
+            // Taking the sleep mutex orders this notify against its
+            // earliest-recheck-then-wait, so the wake cannot be lost.
+            let _guard = self.sleep_mutex.lock().unwrap_or_else(|e| e.into_inner());
             self.cv.notify_all();
         }
     }
 
     fn kick(&self) {
+        let _guard = self.sleep_mutex.lock().unwrap_or_else(|e| e.into_inner());
         self.cv.notify_all();
     }
 
     /// Blocks until at least one entry is due (or shutdown), then returns
-    /// everything due right now.
-    fn next_due(&self, stop: &AtomicBool) -> Vec<TimerEntry> {
-        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+    /// everything due right now, grouped as `(shard, entries)`.
+    fn next_due(&self, stop: &AtomicBool) -> Vec<(usize, Vec<TimerEntry>)> {
         loop {
             if stop.load(Ordering::SeqCst) {
                 return Vec::new();
@@ -240,60 +399,131 @@ impl TimerWheel {
             let now_ns = self.origin.elapsed().as_nanos() as u64;
             let now_tick = now_ns / self.granularity_ns;
             let mut due = Vec::new();
-            while let Some((&tick, _)) = slots.first_key_value() {
-                if tick > now_tick {
-                    break;
+            let mut next_tick = u64::MAX;
+            if self.earliest.load(Ordering::SeqCst) <= now_tick {
+                // Claim the sweep. A schedule() racing in with an earlier
+                // deadline fetch_mins the bound back down and re-notifies.
+                self.earliest.store(u64::MAX, Ordering::SeqCst);
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let mut slots = shard.lock().unwrap_or_else(|e| e.into_inner());
+                    let mut fired = Vec::new();
+                    while let Some((&tick, _)) = slots.first_key_value() {
+                        if tick > now_tick {
+                            break;
+                        }
+                        if let Some((_, mut entries)) = slots.pop_first() {
+                            fired.append(&mut entries);
+                        }
+                    }
+                    if let Some((&tick, _)) = slots.first_key_value() {
+                        next_tick = next_tick.min(tick);
+                    }
+                    if !fired.is_empty() {
+                        due.push((i, fired));
+                    }
                 }
-                if let Some((_, mut entries)) = slots.pop_first() {
-                    due.append(&mut entries);
-                }
+                self.earliest.fetch_min(next_tick, Ordering::SeqCst);
+            } else {
+                next_tick = self.earliest.load(Ordering::SeqCst);
             }
             if !due.is_empty() {
                 return due;
             }
-            let wait = match slots.first_key_value() {
-                Some((&tick, _)) => {
-                    let target_ns = tick * self.granularity_ns;
-                    Duration::from_nanos(target_ns.saturating_sub(now_ns).max(1))
-                }
+            let wait = if next_tick == u64::MAX {
                 // Nothing scheduled: park until the next schedule() kicks.
-                None => Duration::from_millis(50),
+                Duration::from_millis(50)
+            } else {
+                let target_ns = next_tick * self.granularity_ns;
+                Duration::from_nanos(target_ns.saturating_sub(now_ns).max(1))
             };
-            let (guard, _) = self
+            let guard = self.sleep_mutex.lock().unwrap_or_else(|e| e.into_inner());
+            // Recheck under the sleep mutex: a schedule() that lowered the
+            // bound after `next_tick` was computed notified while nobody
+            // waited; sleeping `wait` here would overshoot its deadline.
+            if self.earliest.load(Ordering::SeqCst) < next_tick {
+                continue;
+            }
+            let _ = self
                 .cv
-                .wait_timeout(slots, wait)
+                .wait_timeout(guard, wait)
                 .unwrap_or_else(|e| e.into_inner());
-            slots = guard;
         }
     }
 }
 
 /// A TCP ingress endpoint owned by the reactor's single I/O thread.
 struct IoEndpoint {
-    pipeline: usize,
-    shared: Arc<Shared>,
+    pipe: Arc<PipeRt>,
     endpoint: PollEndpoint,
 }
 
+/// Per-pipeline runtime registration: the pipeline's shared state, its
+/// home worker (the deploy-time affinity hint) and the channel→task
+/// notify map.
+///
+/// The notify map is *frozen* at the end of `add_pipeline` into an
+/// immutable snapshot that every send reads with no lock and no
+/// allocation — the per-send `RwLock` + `channel.to_string()` of the
+/// previous design was the hottest shared state in the reactor. During
+/// deploy (module `init` runs inline and may make service calls) lookups
+/// fall back to the mutex-guarded staging map that `map_channel` fills.
+struct PipeRt {
+    /// Home worker for every task of this pipeline, so its module steps,
+    /// service dispatch and watcher ticks tend to stay on one core (warm
+    /// caches, no cross-core wake ping-pong).
+    home: usize,
+    shared: Arc<Shared>,
+    notify: std::sync::OnceLock<HashMap<String, Arc<Task>>>,
+    staging: Mutex<HashMap<String, Arc<Task>>>,
+}
+
+impl PipeRt {
+    fn task_for(&self, channel: &str) -> Option<Arc<Task>> {
+        if let Some(map) = self.notify.get() {
+            return map.get(channel).cloned();
+        }
+        self.staging.lock().get(channel).cloned()
+    }
+
+    fn freeze(&self) {
+        let staged = std::mem::take(&mut *self.staging.lock());
+        let _ = self.notify.set(staged);
+    }
+}
+
 /// Shared reactor core: task table, ready queues, timer wheel, wake map.
+/// Index of the calling thread in `workers`, or `None` for non-worker
+/// threads (timer, I/O, the deploying thread).
+fn current_worker(workers: usize) -> Option<usize> {
+    let id = WORKER_ID.with(|c| c.get());
+    (id < workers).then_some(id)
+}
+
 struct Core {
     cfg: ReactorConfig,
+    /// Task table for cold-path lookup by id (timer wakes, finalize).
+    /// Hot paths carry `Arc<Task>` through the queues and never touch it.
     tasks: RwLock<Vec<Arc<Task>>>,
-    /// Ready queues on the lock-free MPMC channel layer: non-blocking
-    /// tasks (always helpable) and blocking-capable module tasks.
-    nb_ready: (Sender<usize>, Receiver<usize>),
-    mod_ready: (Sender<usize>, Receiver<usize>),
-    doorbell: Doorbell,
+    /// Per-worker scheduling state: LIFO slot, bounded local queues,
+    /// targeted parker, steal seed, counters.
+    workers: Vec<CachePadded<WorkerQueue>>,
+    /// Global overflow/injection queues on the lock-free MPMC channel
+    /// layer: non-blocking tasks (always helpable) and blocking-capable
+    /// module tasks. Local-queue spill lands here, as do pushes when the
+    /// reactor has a single worker's worth of backlog everywhere.
+    nb_ready: (Sender<Arc<Task>>, Receiver<Arc<Task>>),
+    mod_ready: (Sender<Arc<Task>>, Receiver<Arc<Task>>),
     timers: TimerWheel,
-    /// (pipeline, channel) → task to wake when a message lands there.
-    /// Built at deploy time — the runtime never searches for a reader.
-    notify: RwLock<HashMap<(usize, String), usize>>,
-    /// Per-pipeline shared state, indexed by pipeline id.
-    pipelines: RwLock<Vec<Arc<Shared>>>,
+    /// Per-pipeline runtime registrations, indexed by pipeline id.
+    pipelines: RwLock<Vec<Arc<PipeRt>>>,
     stop: AtomicBool,
 }
 
 impl Core {
+    fn current_worker(&self) -> Option<usize> {
+        current_worker(self.workers.len())
+    }
+
     fn wake_task(&self, id: usize) {
         let task = {
             let tasks = self.tasks.read();
@@ -333,65 +563,239 @@ impl Core {
         }
     }
 
+    /// Queues a freshly-woken task. A worker waking a task claims its own
+    /// LIFO slot — the woken task is usually the consumer of a message the
+    /// worker just produced, and running it next keeps the handoff on warm
+    /// caches. Off-worker wakes (timer, I/O, deploy) go to the task's home
+    /// worker so a pipeline's steps stay on one core.
     fn push_ready(&self, task: &Arc<Task>) {
-        let queue = if task.blocking {
-            &self.mod_ready.0
-        } else {
-            &self.nb_ready.0
-        };
-        let _ = queue.send(task.id);
-        self.doorbell.ring();
+        if let Some(wid) = self.current_worker() {
+            let displaced = self.workers[wid].lifo.lock().replace(Arc::clone(task));
+            if let Some(prev) = displaced {
+                self.push_local(wid, prev);
+            }
+            return;
+        }
+        let home = task.home % self.workers.len();
+        self.push_local(home, Arc::clone(task));
     }
 
-    fn wake_channel(&self, pipeline: usize, channel: &str) {
-        let id = {
-            let notify = self.notify.read();
-            notify.get(&(pipeline, channel.to_string())).copied()
+    /// Requeues a task that stayed runnable (quantum expiry or a DIRTY
+    /// wake observed at run end). Skips the LIFO slot on purpose: a task
+    /// that keeps itself runnable must round-robin with its queue
+    /// siblings, or it would monopolize its worker through the slot.
+    fn requeue(&self, task: &Arc<Task>) {
+        let wid = self
+            .current_worker()
+            .unwrap_or(task.home % self.workers.len());
+        self.push_local(wid, Arc::clone(task));
+    }
+
+    /// Pushes onto a worker's bounded local queue, spilling to the global
+    /// queues when full, and wakes at most one parked worker.
+    fn push_local(&self, wid: usize, task: Arc<Task>) {
+        let wq = &self.workers[wid];
+        let blocking = task.blocking;
+        let queue = if blocking { &wq.md_local } else { &wq.nb_local };
+        let overflow = {
+            let mut q = queue.lock();
+            if q.len() < LOCAL_QUEUE_CAP {
+                q.push_back(task);
+                let depth = q.len() as u64;
+                drop(q);
+                wq.stats
+                    .queue_high_water
+                    .fetch_max(depth, Ordering::Relaxed);
+                None
+            } else {
+                Some(task)
+            }
         };
-        if let Some(id) = id {
-            self.wake_task(id);
+        match overflow {
+            None => self.notify_push(wid),
+            Some(task) => {
+                // Spill: the overflow becomes visible to every worker,
+                // which doubles as a pressure valve for a hot home.
+                let global = if blocking {
+                    &self.mod_ready.0
+                } else {
+                    &self.nb_ready.0
+                };
+                let _ = global.send(task);
+                self.notify_any_idle();
+            }
+        }
+    }
+
+    /// Wakes the queue's owner if it is parked; otherwise, when stealing
+    /// is on, wakes one parked sibling to come steal. Never a broadcast.
+    fn notify_push(&self, wid: usize) {
+        let wq = &self.workers[wid];
+        if wq.parker.idle.load(Ordering::SeqCst) {
+            wq.stats.unparks.fetch_add(1, Ordering::Relaxed);
+            wq.parker.unpark();
+            return;
+        }
+        if self.cfg.steal {
+            self.notify_any_idle();
+        }
+    }
+
+    fn notify_any_idle(&self) {
+        for wq in &self.workers {
+            if wq.parker.idle.load(Ordering::SeqCst) {
+                wq.stats.unparks.fetch_add(1, Ordering::Relaxed);
+                wq.parker.unpark();
+                return;
+            }
+        }
+    }
+
+    fn wake_channel(&self, pipe: &PipeRt, channel: &str) {
+        if let Some(task) = pipe.task_for(channel) {
+            self.wake(&task);
         }
     }
 
     /// Sends through the pipeline's router and wakes the channel's task.
     fn send_and_wake(
         &self,
-        shared: &Shared,
-        pipeline: usize,
+        pipe: &PipeRt,
         from_device: &str,
         msg: WireMessage,
     ) -> Result<(), PipelineError> {
         let chan = msg.channel.clone();
-        shared.router.send_from(from_device, msg)?;
-        self.wake_channel(pipeline, &chan);
+        pipe.shared.router.send_from(from_device, msg)?;
+        self.wake_channel(pipe, &chan);
         Ok(())
     }
 
-    /// Pops and runs one ready task, if any is runnable at `depth`.
-    /// Non-blocking tasks are always runnable; module tasks only while the
-    /// helping depth stays within the configured bound.
+    /// Pops and runs one ready task, if any is runnable at `depth`:
+    /// own LIFO slot, then own local queues, then the global queues, then
+    /// a randomized steal sweep over siblings. Non-blocking tasks are
+    /// always runnable; module tasks only while the helping depth stays
+    /// within the configured bound.
     fn try_run_one(&self, depth: usize) -> bool {
-        if let Ok(id) = self.nb_ready.1.try_recv() {
-            self.run_queued(id, depth);
+        let help_mods = depth <= self.cfg.help_depth;
+        let me = self.current_worker();
+        if let Some(wid) = me {
+            if let Some(task) = self.pop_local(wid, help_mods) {
+                self.run_queued(&task, depth);
+                return true;
+            }
+        }
+        if let Ok(task) = self.nb_ready.1.try_recv() {
+            self.run_queued(&task, depth);
             return true;
         }
-        if depth <= self.cfg.help_depth {
-            if let Ok(id) = self.mod_ready.1.try_recv() {
-                self.run_queued(id, depth);
+        if help_mods {
+            if let Ok(task) = self.mod_ready.1.try_recv() {
+                self.run_queued(&task, depth);
+                return true;
+            }
+        }
+        // Local and global queues are dry: steal. Non-worker threads
+        // (deploy-time init helping its own service calls) always sweep —
+        // the work they are waiting on may sit in a worker's local queue.
+        let may_steal = me.is_none() || (self.cfg.steal && self.workers.len() > 1);
+        if may_steal {
+            if let Some(task) = self.try_steal(me, help_mods) {
+                self.run_queued(&task, depth);
                 return true;
             }
         }
         false
     }
 
-    fn run_queued(&self, id: usize, depth: usize) {
-        let task = {
-            let tasks = self.tasks.read();
-            match tasks.get(id) {
-                Some(t) => Arc::clone(t),
-                None => return,
+    fn pop_local(&self, wid: usize, help_mods: bool) -> Option<Arc<Task>> {
+        let wq = &self.workers[wid];
+        {
+            let mut lifo = wq.lifo.lock();
+            // Peek-gate: a blocking task in the slot may only be popped
+            // within the helping depth bound; otherwise it stays for the
+            // owner's depth-0 loop (or a shallower stealer).
+            if lifo.as_ref().is_some_and(|t| !t.blocking || help_mods) {
+                return lifo.take();
             }
+        }
+        if let Some(task) = wq.nb_local.lock().pop_front() {
+            return Some(task);
+        }
+        if help_mods {
+            if let Some(task) = wq.md_local.lock().pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// One randomized sweep over sibling queues. Victim order inside one
+    /// victim: its FIFO backlog first (oldest, coldest — cheap to move),
+    /// its LIFO slot last (warmest; stolen only when nothing else runs).
+    /// `try_lock` everywhere: contending with a busy owner is exactly the
+    /// case where stealing is pointless.
+    fn try_steal(&self, me: Option<usize>, help_mods: bool) -> Option<Arc<Task>> {
+        let n = self.workers.len();
+        let start = match me {
+            Some(wid) => {
+                let wq = &self.workers[wid];
+                wq.stats.steals_attempted.fetch_add(1, Ordering::Relaxed);
+                // Owner-only xorshift: no shared RNG state, no allocation.
+                let mut s = wq.steal_seed.load(Ordering::Relaxed);
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                wq.steal_seed.store(s, Ordering::Relaxed);
+                (s as usize) % n
+            }
+            None => 0,
         };
+        let mut found = None;
+        'sweep: for i in 0..n {
+            let v = (start + i) % n;
+            if Some(v) == me {
+                continue;
+            }
+            let wq = &self.workers[v];
+            if let Some(mut q) = wq.nb_local.try_lock() {
+                if let Some(task) = q.pop_front() {
+                    found = Some(task);
+                    break 'sweep;
+                }
+            }
+            if help_mods {
+                if let Some(mut q) = wq.md_local.try_lock() {
+                    if let Some(task) = q.pop_front() {
+                        found = Some(task);
+                        break 'sweep;
+                    }
+                }
+            }
+            if let Some(mut slot) = wq.lifo.try_lock() {
+                if slot.as_ref().is_some_and(|t| !t.blocking || help_mods) {
+                    found = slot.take();
+                    break 'sweep;
+                }
+            }
+        }
+        if found.is_some() {
+            if let Some(wid) = me {
+                self.workers[wid]
+                    .stats
+                    .steals_succeeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        found
+    }
+
+    fn run_queued(&self, task: &Arc<Task>, depth: usize) {
+        if let Some(wid) = self.current_worker() {
+            self.workers[wid]
+                .stats
+                .tasks_run
+                .fetch_add(1, Ordering::Relaxed);
+        }
         task.state.store(RUNNING, Ordering::SeqCst);
         let more = {
             let mut runner = task.runner.lock();
@@ -399,7 +803,7 @@ impl Core {
         };
         if more {
             task.state.store(QUEUED, Ordering::SeqCst);
-            self.push_ready(&task);
+            self.requeue(task);
             return;
         }
         if task
@@ -409,32 +813,38 @@ impl Core {
         {
             // A wake arrived mid-run (DIRTY): requeue.
             task.state.store(QUEUED, Ordering::SeqCst);
-            self.push_ready(&task);
+            self.requeue(task);
         }
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(&self, wid: usize) {
+        WORKER_ID.with(|c| c.set(wid));
         while !self.stop.load(Ordering::SeqCst) {
             if self.try_run_one(0) {
                 continue;
             }
-            self.doorbell.wait(Duration::from_micros(500));
+            self.workers[wid].parker.park(IDLE_PARK);
         }
     }
 
     fn timer_loop(&self) {
         while !self.stop.load(Ordering::SeqCst) {
-            for entry in self.timers.next_due(&self.stop) {
-                match entry {
-                    TimerEntry::Wake(id) => self.wake_task(id),
-                    TimerEntry::Deliver {
-                        pipeline,
-                        shared,
-                        from_device,
-                        msgs,
-                    } => {
-                        for msg in msgs {
-                            let _ = self.send_and_wake(&shared, pipeline, &from_device, msg);
+            for (shard, entries) in self.timers.next_due(&self.stop) {
+                self.workers[shard % self.workers.len()]
+                    .stats
+                    .timer_fires
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                for entry in entries {
+                    match entry {
+                        TimerEntry::Wake(id) => self.wake_task(id),
+                        TimerEntry::Deliver {
+                            pipe,
+                            from_device,
+                            msgs,
+                        } => {
+                            for msg in msgs {
+                                let _ = self.send_and_wake(&pipe, &from_device, msg);
+                            }
                         }
                     }
                 }
@@ -450,13 +860,14 @@ impl Core {
             }
             let mut delivered = 0usize;
             for ep in &mut endpoints {
-                let pipeline = ep.pipeline;
-                let shared = Arc::clone(&ep.shared);
-                delivered += ep.endpoint.poll(&mut |msg| {
+                let pipe = Arc::clone(&ep.pipe);
+                // Budgeted poll: one hot endpoint cannot pin the shared
+                // I/O thread; frames wake the pipeline's home worker.
+                delivered += ep.endpoint.poll_budget(IO_POLL_BUDGET, &mut |msg| {
                     let chan = msg.channel.clone();
-                    if let Ok(sender) = shared.hub.connect(&chan) {
+                    if let Ok(sender) = pipe.shared.hub.connect(&chan) {
                         if sender.send(msg).is_ok() {
-                            self.wake_channel(pipeline, &chan);
+                            self.wake_channel(&pipe, &chan);
                         }
                     }
                 });
@@ -480,6 +891,23 @@ impl Core {
             }
         }
     }
+
+    /// Snapshot of the per-worker scheduler counters.
+    fn scheduler_stats(&self) -> Vec<crate::metrics::WorkerSchedStats> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(worker, wq)| crate::metrics::WorkerSchedStats {
+                worker,
+                tasks_run: wq.stats.tasks_run.load(Ordering::Relaxed),
+                steals_attempted: wq.stats.steals_attempted.load(Ordering::Relaxed),
+                steals_succeeded: wq.stats.steals_succeeded.load(Ordering::Relaxed),
+                queue_high_water: wq.stats.queue_high_water.load(Ordering::Relaxed),
+                timer_fires: wq.stats.timer_fires.load(Ordering::Relaxed),
+                unparks: wq.stats.unparks.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
 }
 
 /// Reactor-local service channel: pipeline-scoped so thousands of
@@ -490,23 +918,28 @@ fn rsvc_chan(pipeline: &str, device: &str, service: &str) -> String {
 }
 
 /// Recurring-timer dedup: tracks the deadline already armed for a task so
-/// message-driven wakes don't flood the wheel with duplicate entries.
+/// message-driven wakes don't flood the wheel with duplicate entries. The
+/// shard is the task's home worker: a pipeline's recurring ticks lock only
+/// its own wheel shard.
 struct Rearm {
     id: usize,
+    shard: usize,
     armed_for: Option<Instant>,
 }
 
 impl Rearm {
-    fn new(id: usize) -> Self {
+    fn new(id: usize, shard: usize) -> Self {
         Rearm {
             id,
+            shard,
             armed_for: None,
         }
     }
 
     fn ensure(&mut self, core: &Core, at: Instant) {
         if self.armed_for != Some(at) {
-            core.timers.schedule(at, TimerEntry::Wake(self.id));
+            core.timers
+                .schedule(self.shard, at, TimerEntry::Wake(self.id));
             self.armed_for = Some(at);
         }
     }
@@ -532,7 +965,7 @@ struct CtxState {
 struct ReactorCtx<'a> {
     core: &'a Core,
     depth: usize,
-    pipeline_id: usize,
+    pipe: &'a Arc<PipeRt>,
     pipeline: &'a str,
     shared: &'a Arc<Shared>,
     wiring: &'a ModuleWiring,
@@ -606,8 +1039,7 @@ impl ReactorCtx<'_> {
         self.st.corr += 1;
         let corr_id = self.st.corr;
         self.core.send_and_wake(
-            self.shared,
-            self.pipeline_id,
+            self.pipe,
             &self.wiring.device,
             WireMessage::request(
                 channel.to_string(),
@@ -690,8 +1122,7 @@ impl ReactorCtx<'_> {
     /// Control message hands its credit back to the pacer.
     fn send_fault(&mut self) {
         let _ = self.core.send_and_wake(
-            self.shared,
-            self.pipeline_id,
+            self.pipe,
             &self.wiring.device,
             WireMessage {
                 kind: MessageKind::Control,
@@ -797,8 +1228,7 @@ impl ModuleCtx for ReactorCtx<'_> {
             self.emulate(Duration::from_micros(2_500 + bytes * 8 / 100));
         }
         self.core.send_and_wake(
-            self.shared,
-            self.pipeline_id,
+            self.pipe,
             &self.wiring.device,
             WireMessage::data(
                 channel.clone(),
@@ -813,8 +1243,7 @@ impl ModuleCtx for ReactorCtx<'_> {
 
     fn signal_source(&mut self) -> Result<(), PipelineError> {
         self.core.send_and_wake(
-            self.shared,
-            self.pipeline_id,
+            self.pipe,
             &self.wiring.device,
             WireMessage {
                 kind: MessageKind::Signal,
@@ -872,7 +1301,7 @@ impl ModuleCtx for ReactorCtx<'_> {
 struct ModuleRunner {
     shared: Arc<Shared>,
     wiring: Arc<ModuleWiring>,
-    pipeline_id: usize,
+    pipe: Arc<PipeRt>,
     pipeline: String,
     inbox: InprocReceiver,
     instance: Box<dyn Module>,
@@ -906,7 +1335,7 @@ impl TaskRunner for ModuleRunner {
         let ModuleRunner {
             shared,
             wiring,
-            pipeline_id,
+            pipe,
             pipeline,
             inbox,
             instance,
@@ -917,7 +1346,7 @@ impl TaskRunner for ModuleRunner {
         let mut ctx = ReactorCtx {
             core,
             depth,
-            pipeline_id: *pipeline_id,
+            pipe,
             pipeline,
             shared,
             wiring,
@@ -1015,7 +1444,7 @@ impl TaskRunner for ModuleRunner {
 /// ride the wheel, so a slow modeled service never occupies a worker.
 struct ServiceRunner {
     shared: Arc<Shared>,
-    pipeline_id: usize,
+    pipe: Arc<PipeRt>,
     inbox: InprocReceiver,
     image: Arc<dyn Service>,
     device: String,
@@ -1141,17 +1570,17 @@ impl ServiceRunner {
         };
         match deferral {
             Some(delay) => core.timers.schedule(
+                self.pipe.home,
                 Instant::now() + delay,
                 TimerEntry::Deliver {
-                    pipeline: self.pipeline_id,
-                    shared: Arc::clone(&self.shared),
+                    pipe: Arc::clone(&self.pipe),
                     from_device: self.device.clone(),
                     msgs: replies,
                 },
             ),
             None => {
                 for msg in replies {
-                    let _ = core.send_and_wake(&self.shared, self.pipeline_id, &self.device, msg);
+                    let _ = core.send_and_wake(&self.pipe, &self.device, msg);
                 }
             }
         }
@@ -1205,7 +1634,7 @@ impl TaskRunner for ServiceRunner {
 /// ticks, then re-arms itself on the timer wheel for the next tick.
 struct PacerRunner {
     shared: Arc<Shared>,
-    pipeline_id: usize,
+    pipe: Arc<PipeRt>,
     pipeline: String,
     sources: Vec<String>,
     source_device: String,
@@ -1321,8 +1750,7 @@ impl TaskRunner for PacerRunner {
                 let t_ns = self.shared.now_ns();
                 for source in &self.sources {
                     let _ = core.send_and_wake(
-                        &self.shared,
-                        self.pipeline_id,
+                        &self.pipe,
                         &self.source_device,
                         WireMessage {
                             kind: MessageKind::Signal,
@@ -1419,7 +1847,7 @@ impl TaskRunner for SloRunner {
 /// One device's heartbeat sender as a self-rearming timer task.
 struct HbBeatRunner {
     shared: Arc<Shared>,
-    pipeline_id: usize,
+    pipe: Arc<PipeRt>,
     device: String,
     channel: String,
     interval: Duration,
@@ -1437,8 +1865,7 @@ impl TaskRunner for HbBeatRunner {
             self.next_at = now + self.interval;
             if !self.shared.muted_heartbeats.lock().contains(&self.device) {
                 let _ = core.send_and_wake(
-                    &self.shared,
-                    self.pipeline_id,
+                    &self.pipe,
                     &self.device,
                     WireMessage {
                         kind: MessageKind::Control,
@@ -1557,13 +1984,20 @@ impl ReactorRuntime {
     pub fn new(cfg: ReactorConfig) -> Self {
         let workers = cfg.effective_workers();
         let core = Arc::new(Core {
-            timers: TimerWheel::new(cfg.timer_granularity),
+            timers: TimerWheel::new(cfg.timer_granularity, workers),
             cfg,
             tasks: RwLock::new(Vec::new()),
+            workers: (0..workers)
+                // Fixed per-worker steal seeds (golden-ratio stride): no
+                // shared RNG, deterministic across runs.
+                .map(|i| {
+                    CachePadded(WorkerQueue::new(
+                        (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ))
+                })
+                .collect(),
             nb_ready: unbounded(),
             mod_ready: unbounded(),
-            doorbell: Doorbell::new(),
-            notify: RwLock::new(HashMap::new()),
             pipelines: RwLock::new(Vec::new()),
             stop: AtomicBool::new(false),
         });
@@ -1573,7 +2007,7 @@ impl ReactorRuntime {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("vp-reactor-worker-{i}"))
-                    .spawn(move || core.worker_loop())
+                    .spawn(move || core.worker_loop(i))
                     .expect("spawn reactor worker"),
             );
         }
@@ -1614,23 +2048,20 @@ impl ReactorRuntime {
         self.core.tasks.read().len()
     }
 
-    fn register_task(&self, blocking: bool, runner: Box<dyn TaskRunner>) -> usize {
+    fn register_task(&self, home: usize, blocking: bool, runner: Box<dyn TaskRunner>) -> Arc<Task> {
         let mut tasks = self.core.tasks.write();
-        let id = tasks.len();
-        tasks.push(Arc::new(Task {
-            id,
+        let task = Arc::new(Task {
+            home,
             blocking,
-            state: AtomicU8::new(IDLE),
+            state: CachePadded(AtomicU8::new(IDLE)),
             runner: Mutex::new(runner),
-        }));
-        id
+        });
+        tasks.push(Arc::clone(&task));
+        task
     }
 
-    fn map_channel(&self, pipeline_id: usize, channel: String, task: usize) {
-        self.core
-            .notify
-            .write()
-            .insert((pipeline_id, channel), task);
+    fn map_channel(&self, pipe: &PipeRt, channel: String, task: Arc<Task>) {
+        pipe.staging.lock().insert(channel, task);
     }
 
     /// Deploys one more pipeline onto the shared reactor and returns its
@@ -1744,12 +2175,21 @@ impl ReactorRuntime {
             knobs: KnobActuators::baseline(),
             gate: ShutdownGate::new(),
         });
-        self.core.pipelines.write().push(Arc::clone(&shared));
+        // Pipeline affinity: home worker for every task of this pipeline.
+        // Round-robin over workers by default spreads the fleet evenly;
+        // `affinity` pins everything for scheduling experiments.
+        let home = self.core.cfg.affinity.unwrap_or(pipeline_id) % self.core.workers.len();
+        let pipe = Arc::new(PipeRt {
+            home,
+            shared: Arc::clone(&shared),
+            notify: std::sync::OnceLock::new(),
+            staging: Mutex::new(HashMap::new()),
+        });
+        self.core.pipelines.write().push(Arc::clone(&pipe));
         if !io_endpoints.is_empty() {
             for endpoint in io_endpoints {
                 let _ = self.io_tx.send(IoEndpoint {
-                    pipeline: pipeline_id,
-                    shared: Arc::clone(&shared),
+                    pipe: Arc::clone(&pipe),
                     endpoint,
                 });
             }
@@ -1778,11 +2218,12 @@ impl ReactorRuntime {
             let chan = rsvc_chan(&pipeline, &device, &service);
             let inbox = hub.bind(&chan)?;
             let host = format!("{device}/{}", image.name());
-            let id = self.register_task(
+            let task = self.register_task(
+                home,
                 false,
                 Box::new(ServiceRunner {
                     shared: Arc::clone(&shared),
-                    pipeline_id,
+                    pipe: Arc::clone(&pipe),
                     inbox,
                     image,
                     device,
@@ -1790,7 +2231,7 @@ impl ReactorRuntime {
                     host,
                 }),
             );
-            self.map_channel(pipeline_id, chan, id);
+            self.map_channel(&pipe, chan, task);
         }
 
         // --- Modules: one blocking-capable task each.
@@ -1853,7 +2294,7 @@ impl ReactorRuntime {
                 let mut ctx = ReactorCtx {
                     core: &self.core,
                     depth: 0,
-                    pipeline_id,
+                    pipe: &pipe,
                     pipeline: &pipeline,
                     shared: &shared,
                     wiring: &wiring,
@@ -1862,22 +2303,23 @@ impl ReactorRuntime {
                 instance.init(&mut ctx)?;
             }
             let id = self.next_task_id();
-            self.register_task(
+            let task = self.register_task(
+                home,
                 true,
                 Box::new(ModuleRunner {
                     shared: Arc::clone(&shared),
                     wiring,
-                    pipeline_id,
+                    pipe: Arc::clone(&pipe),
                     pipeline: pipeline.clone(),
                     inbox,
                     instance,
                     factory,
                     st,
                     last_checkpoint: Instant::now(),
-                    rearm: Rearm::new(id),
+                    rearm: Rearm::new(id, home),
                 }),
             );
-            self.map_channel(pipeline_id, chan, id);
+            self.map_channel(&pipe, chan, task);
             if config.checkpoint_period.is_some() {
                 initial_wakes.push(id);
             }
@@ -1890,6 +2332,7 @@ impl ReactorRuntime {
             let target_ms = controller.config().slo.p99.as_secs_f64() * 1e3;
             let id = self.next_task_id();
             self.register_task(
+                home,
                 false,
                 Box::new(SloRunner {
                     shared: Arc::clone(&shared),
@@ -1897,7 +2340,7 @@ impl ReactorRuntime {
                     interval,
                     target_ms,
                     next_at: Instant::now() + interval,
-                    rearm: Rearm::new(id),
+                    rearm: Rearm::new(id, home),
                 }),
             );
             initial_wakes.push(id);
@@ -1910,21 +2353,23 @@ impl ReactorRuntime {
             for d in &plan.devices {
                 let id = self.next_task_id();
                 self.register_task(
+                    home,
                     false,
                     Box::new(HbBeatRunner {
                         shared: Arc::clone(&shared),
-                        pipeline_id,
+                        pipe: Arc::clone(&pipe),
                         device: d.name.clone(),
                         channel: hb_channel.clone(),
                         interval: health.heartbeat_interval,
                         next_at: Instant::now(),
-                        rearm: Rearm::new(id),
+                        rearm: Rearm::new(id, home),
                     }),
                 );
                 initial_wakes.push(id);
             }
             let id = self.next_task_id();
-            self.register_task(
+            let task = self.register_task(
+                home,
                 false,
                 Box::new(HbMonitorRunner {
                     shared: Arc::clone(&shared),
@@ -1932,10 +2377,10 @@ impl ReactorRuntime {
                     confirmed: HashSet::new(),
                     sweep: POLL,
                     next_at: Instant::now(),
-                    rearm: Rearm::new(id),
+                    rearm: Rearm::new(id, home),
                 }),
             );
-            self.map_channel(pipeline_id, hb_channel, id);
+            self.map_channel(&pipe, hb_channel, task);
             initial_wakes.push(id);
         }
 
@@ -1943,13 +2388,14 @@ impl ReactorRuntime {
         if let Some(interval) = config.telemetry_interval {
             let id = self.next_task_id();
             self.register_task(
+                home,
                 false,
                 Box::new(TelemetryRunner {
                     shared: Arc::clone(&shared),
                     pipeline: pipeline.clone(),
                     interval,
                     next_at: Instant::now() + interval,
-                    rearm: Rearm::new(id),
+                    rearm: Rearm::new(id, home),
                 }),
             );
             initial_wakes.push(id);
@@ -1962,11 +2408,12 @@ impl ReactorRuntime {
         let pacer = SourcePacer::new(config.fps);
         let interval = Duration::from_nanos(pacer.interval_ns());
         let id = self.next_task_id();
-        self.register_task(
+        let task = self.register_task(
+            home,
             false,
             Box::new(PacerRunner {
                 shared: Arc::clone(&shared),
-                pipeline_id,
+                pipe: Arc::clone(&pipe),
                 pipeline: pipeline.clone(),
                 sources: source_names,
                 source_device,
@@ -1983,14 +2430,17 @@ impl ReactorRuntime {
                 dedup_order: VecDeque::with_capacity(config.dedup_window),
                 dedup_set: HashSet::with_capacity(config.dedup_window),
                 next_tick: Instant::now(),
-                rearm: Rearm::new(id),
+                rearm: Rearm::new(id, home),
                 finalized: false,
             }),
         );
-        self.map_channel(pipeline_id, fc_channel, id);
+        self.map_channel(&pipe, fc_channel, task);
         initial_wakes.push(id);
 
         self.pipeline_names.push(pipeline);
+        // Freeze the staging notify map into the immutable snapshot:
+        // every steady-state send is now a lock-free HashMap probe.
+        pipe.freeze();
         for id in initial_wakes {
             self.core.wake_task(id);
         }
@@ -2014,7 +2464,7 @@ impl ReactorRuntime {
             .pipelines
             .read()
             .iter()
-            .map(|s| s.deliveries.load(Ordering::Relaxed))
+            .map(|p| p.shared.deliveries.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -2025,7 +2475,14 @@ impl ReactorRuntime {
             .pipelines
             .read()
             .get(id)
-            .map_or(0, |s| s.deliveries.load(Ordering::Relaxed))
+            .map_or(0, |p| p.shared.deliveries.load(Ordering::Relaxed))
+    }
+
+    /// Live snapshot of the per-worker scheduler counters (tasks run,
+    /// steal attempts/successes, local-queue high-water, timer fires,
+    /// unparks), one entry per worker.
+    pub fn scheduler_stats(&self) -> Vec<crate::metrics::WorkerSchedStats> {
+        self.core.scheduler_stats()
     }
 
     /// Chaos hook: silences `device`'s heartbeat sender on pipeline `id`
@@ -2035,7 +2492,7 @@ impl ReactorRuntime {
             .pipelines
             .read()
             .get(id)
-            .is_some_and(|s| s.muted_heartbeats.lock().insert(device.to_string()))
+            .is_some_and(|p| p.shared.muted_heartbeats.lock().insert(device.to_string()))
     }
 
     /// Runs until `wall` elapses, then stops and reports (one report per
@@ -2054,23 +2511,34 @@ impl ReactorRuntime {
         self.finish()
     }
 
-    /// Stops every thread and collects one report per pipeline.
+    /// Stops every thread and collects one report per pipeline. Each
+    /// report carries the same runtime-wide per-worker scheduler snapshot.
     pub fn finish(mut self) -> Vec<RunReport> {
         self.shutdown();
+        let sched = self.core.scheduler_stats();
         let pipelines = self.core.pipelines.read();
-        pipelines.iter().map(|s| collect_report(s)).collect()
+        pipelines
+            .iter()
+            .map(|p| {
+                let mut report = collect_report(&p.shared);
+                report.scheduler = sched.clone();
+                report
+            })
+            .collect()
     }
 
     fn shutdown(&mut self) {
         self.core.stop.store(true, Ordering::SeqCst);
         {
             let pipelines = self.core.pipelines.read();
-            for shared in pipelines.iter() {
-                shared.stop.store(true, Ordering::SeqCst);
-                shared.gate.trigger();
+            for p in pipelines.iter() {
+                p.shared.stop.store(true, Ordering::SeqCst);
+                p.shared.gate.trigger();
             }
         }
-        self.core.doorbell.ring_all();
+        for wq in &self.core.workers {
+            wq.parker.unpark();
+        }
         self.core.timers.kick();
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -2379,6 +2847,105 @@ mod tests {
         assert!(
             dispatch.busy_ns >= 5 * 1_000_000,
             "modeled cost missing from busy_ns: {dispatch:?}"
+        );
+    }
+
+    /// Probe task for the interleaving test: every run drains the shared
+    /// `pending` wake counter. Lost DIRTY wakes leave `pending` non-zero
+    /// forever; double-queued tasks produce more runs than wakes.
+    struct ProbeRunner {
+        pending: Arc<AtomicU64>,
+        runs: Arc<AtomicU64>,
+        overlap: Arc<AtomicBool>,
+    }
+
+    impl TaskRunner for ProbeRunner {
+        fn run(&mut self, _core: &Core, _depth: usize) -> bool {
+            assert!(
+                !self.overlap.swap(true, Ordering::SeqCst),
+                "task ran concurrently on two threads"
+            );
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            self.pending.swap(0, Ordering::SeqCst);
+            self.overlap.store(false, Ordering::SeqCst);
+            false
+        }
+    }
+
+    /// Seeded randomized interleaving over the 4-state task machine under
+    /// stealing: four threads hammer `wake()` on one task homed on worker
+    /// 0 of a 4-worker pool, so the runner, its home worker and three
+    /// stealers race on every IDLE/QUEUED/RUNNING/DIRTY transition. A task
+    /// must never run concurrently with itself (double-queue would allow
+    /// two workers to pop it), each run must consume at least one wake,
+    /// and a wake that lands mid-run (DIRTY) must never be lost.
+    #[test]
+    fn task_machine_survives_randomized_stealing_interleavings() {
+        const WAKERS: u64 = 4;
+        const WAKES_PER_THREAD: u64 = 20_000;
+        let rt = ReactorRuntime::new(ReactorConfig {
+            workers: 4,
+            ..ReactorConfig::default()
+        });
+        let pending = Arc::new(AtomicU64::new(0));
+        let runs = Arc::new(AtomicU64::new(0));
+        let task = rt.register_task(
+            0,
+            false,
+            Box::new(ProbeRunner {
+                pending: Arc::clone(&pending),
+                runs: Arc::clone(&runs),
+                overlap: Arc::new(AtomicBool::new(false)),
+            }),
+        );
+        let mut handles = Vec::new();
+        for t in 0..WAKERS {
+            let core = Arc::clone(&rt.core);
+            let task = Arc::clone(&task);
+            let pending = Arc::clone(&pending);
+            handles.push(std::thread::spawn(move || {
+                // Fixed per-thread seed: the interleaving pressure pattern
+                // (yield points) is reproducible run to run.
+                let mut seed = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for _ in 0..WAKES_PER_THREAD {
+                    pending.fetch_add(1, Ordering::SeqCst);
+                    core.wake(&task);
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    if seed % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Quiesce: the final wake must still force a run that drains the
+        // counter — if a racing DIRTY wake were dropped, `pending` would
+        // stay non-zero forever.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pending.load(Ordering::SeqCst) != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            pending.load(Ordering::SeqCst),
+            0,
+            "wake lost: pending never drained after {} runs",
+            runs.load(Ordering::SeqCst)
+        );
+        let total_runs = runs.load(Ordering::SeqCst);
+        assert!(total_runs >= 1, "task never ran");
+        assert!(
+            total_runs <= WAKERS * WAKES_PER_THREAD,
+            "more runs ({total_runs}) than wakes ({}): task was double-queued",
+            WAKERS * WAKES_PER_THREAD
+        );
+        assert_eq!(
+            task.state.load(Ordering::SeqCst),
+            IDLE,
+            "task did not settle back to IDLE"
         );
     }
 }

@@ -305,6 +305,10 @@ pub struct RunReport {
     /// SLO controller direction reversals over the run (bounded by the
     /// dwell time: at most one move per dwell).
     pub slo_flaps: u64,
+    /// Per-worker reactor scheduler counters (empty for the threaded
+    /// [`LocalRuntime`], which has no shared scheduler). Runtime-wide:
+    /// every pipeline's report carries the same snapshot.
+    pub scheduler: Vec<crate::metrics::WorkerSchedStats>,
 }
 
 /// A condvar-backed shutdown latch: watcher threads (SLO controller,
@@ -1358,6 +1362,7 @@ pub(crate) fn collect_report(shared: &Shared) -> RunReport {
         slo_level: shared.knobs.level.load(Ordering::Relaxed),
         slo_moves: shared.knobs.moves.load(Ordering::Relaxed),
         slo_flaps: shared.knobs.flaps.load(Ordering::Relaxed),
+        scheduler: Vec::new(),
     }
 }
 

@@ -638,6 +638,15 @@ impl PollEndpoint {
     /// returns the number of frames delivered (0 means "nothing ready —
     /// come back later").
     pub fn poll(&mut self, sink: &mut dyn FnMut(WireMessage)) -> usize {
+        self.poll_budget(usize::MAX, sink)
+    }
+
+    /// Like [`PollEndpoint::poll`], but stops reading once `budget` frames
+    /// have been delivered in this pass. A shared I/O thread multiplexing
+    /// many endpoints uses this so one firehose peer cannot pin the poll
+    /// loop while its siblings starve; undelivered bytes stay in the
+    /// kernel socket buffer (and the reassembly buffer) for the next pass.
+    pub fn poll_budget(&mut self, budget: usize, sink: &mut dyn FnMut(WireMessage)) -> usize {
         loop {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -657,21 +666,40 @@ impl PollEndpoint {
         let mut delivered = 0usize;
         let mut chunk = [0u8; POLL_READ_CHUNK];
         self.conns.retain_mut(|conn| {
+            if delivered >= budget {
+                return true;
+            }
+            // Frames left buffered by an earlier budget-capped pass must
+            // drain even when the kernel has nothing new to read.
+            match drain_frames_budget(&mut conn.buf, budget - delivered, sink) {
+                Ok(n) => delivered += n,
+                Err(()) => return false,
+            }
             loop {
+                if delivered >= budget {
+                    // Budget exhausted mid-pass: keep the connection and
+                    // whatever the kernel still holds for the next pass.
+                    return true;
+                }
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
-                        // Clean EOF: flush any complete frames already
-                        // buffered, then drop the connection.
-                        if let Ok(n) = drain_frames(&mut conn.buf, sink) {
-                            delivered += n;
-                        }
-                        return false;
+                        // Clean EOF: flush complete frames already
+                        // buffered (up to the budget), then drop the
+                        // connection — unless the budget cut the flush
+                        // short, in which case it stays for the next pass.
+                        return match drain_frames_budget(&mut conn.buf, budget - delivered, sink) {
+                            Ok(n) => {
+                                delivered += n;
+                                delivered >= budget && conn.buf.len() >= 4
+                            }
+                            Err(()) => false,
+                        };
                     }
                     Ok(n) => {
                         conn.buf.extend_from_slice(&chunk[..n]);
                         // Parse as we read so a fast peer cannot grow the
                         // reassembly buffer beyond one partial frame.
-                        match drain_frames(&mut conn.buf, sink) {
+                        match drain_frames_budget(&mut conn.buf, budget - delivered, sink) {
                             Ok(n) => delivered += n,
                             Err(()) => return false, // corrupt stream
                         }
@@ -696,14 +724,20 @@ impl std::fmt::Debug for PollEndpoint {
     }
 }
 
-/// Decodes every complete length-prefixed frame at the front of `buf`,
-/// feeding each to `sink`. Leaves a trailing partial frame in place.
-/// `Err(())` means the stream is corrupt (implausible prefix or an
-/// undecodable body) and the connection must be closed.
-fn drain_frames(buf: &mut BytesMut, sink: &mut dyn FnMut(WireMessage)) -> Result<usize, ()> {
+/// Decodes complete length-prefixed frames at the front of `buf`, feeding
+/// each to `sink`, stopping after `max` frames; the rest stay buffered
+/// for a later pass (a budgeted poll needs the cap here too — one 16 KiB
+/// read can carry hundreds of small frames). Leaves a trailing partial
+/// frame in place. `Err(())` means the stream is corrupt (implausible
+/// prefix or an undecodable body) and the connection must be closed.
+fn drain_frames_budget(
+    buf: &mut BytesMut,
+    max: usize,
+    sink: &mut dyn FnMut(WireMessage),
+) -> Result<usize, ()> {
     let mut delivered = 0usize;
     loop {
-        if buf.len() < 4 {
+        if delivered >= max || buf.len() < 4 {
             return Ok(delivered);
         }
         let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
@@ -1015,6 +1049,40 @@ mod tests {
             .collect();
         assert_eq!(a, (0..50).collect::<Vec<_>>());
         assert_eq!(b, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn poll_budget_caps_one_pass_without_losing_frames() {
+        let mut ep = PollEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = format!("127.0.0.1:{}", ep.local_port());
+        let sender = TcpSender::connect_retry(&addr, Duration::from_secs(2)).unwrap();
+        for i in 0..50u64 {
+            sender.send(WireMessage::signal("x", i)).unwrap();
+        }
+        // Wait until a full budgeted pass actually hits the cap, proving
+        // the kernel had more buffered than one pass was allowed to take.
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let n = ep.poll_budget(10, &mut |m| got.push(m));
+            assert!(n <= 10, "budgeted pass delivered {n} frames");
+            if n == 10 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "budget cap never reached");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(ep.connections(), 1, "capped pass must keep the peer");
+        // The remainder drains across later passes with nothing lost and
+        // per-peer ordering intact.
+        while got.len() < 50 {
+            assert!(Instant::now() < deadline, "only {} frames", got.len());
+            if ep.poll_budget(10, &mut |m| got.push(m)) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let seqs: Vec<u64> = got.iter().map(|m| m.seq).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<_>>());
     }
 
     #[test]

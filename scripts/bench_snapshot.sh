@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Hot-path + ML-kernel + dispatch-batching + self-healing + SLO-controller
 # + reactor-scale performance snapshot: runs the bench_snapshot binary
-# (release) and emits BENCH_PR7.json at the workspace root (codec kernels,
+# (release) and emits BENCH_PR8.json at the workspace root (codec kernels,
 # ML/vision kernels vs their scalar oracles, encode-cache fan-out, inproc
-# roundtrips, executor draining, the service-dispatch saturation sweep,
+# roundtrips, the multi-core reactor scaling sweep (workers=1 vs
+# workers=cores with steal/wake counters; skip marker on single-core
+# runners), the service-dispatch saturation sweep,
 # the deterministic failover-MTTR cell, the SLO flash-crowd cell with the
 # quality knob's measured accuracy cost, and the reactor fleet cells —
 # pipelines per core, memory per pipeline, OS thread count and the
@@ -12,7 +14,7 @@
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
 #   --quick    shrink iteration counts (CI smoke; numbers are noisier)
-#   --out PATH write the JSON somewhere else (default BENCH_PR7.json)
+#   --out PATH write the JSON somewhere else (default BENCH_PR8.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

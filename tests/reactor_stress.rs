@@ -129,8 +129,18 @@ fn os_thread_count() -> usize {
         .unwrap_or(0)
 }
 
-#[test]
-fn one_thousand_pipelines_with_mixed_faults_deliver() {
+/// Serializes the two chaos-stress variants: each deploys 1,000 pipelines
+/// and measures process-wide thread counts, so overlapping runs would see
+/// each other's threads and load.
+static STRESS_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The 1,000-pipeline chaos run at a given worker count. Running it at
+/// both `workers=1` and `workers=cores` pins semantics equivalence: the
+/// multi-core scheduler (local queues, stealing, sharded timers) must
+/// change throughput only, never delivery, credit conservation or
+/// wedge-freedom.
+fn chaos_stress(workers: usize) {
+    let _serial = STRESS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     const PIPELINES: usize = 1_000;
     let modules = module_registry();
     let clean = service_registry(None);
@@ -145,7 +155,10 @@ fn one_thousand_pipelines_with_mixed_faults_deliver() {
         probability: 0.1,
     }));
 
-    let mut rt = ReactorRuntime::new(ReactorConfig::default());
+    let mut rt = ReactorRuntime::new(ReactorConfig {
+        workers,
+        ..ReactorConfig::default()
+    });
     let threads_before = os_thread_count();
     let base_threads = rt.thread_count();
     for i in 0..PIPELINES {
@@ -220,6 +233,25 @@ fn one_thousand_pipelines_with_mixed_faults_deliver() {
         delivered * 10 >= attempted * 9,
         "delivery ratio below 90%: {delivered}/{attempted}"
     );
+    // The scheduler telemetry covers every worker and accounts real work.
+    let sched = &reports[0].scheduler;
+    assert_eq!(sched.len(), workers, "one stats entry per worker");
+    let tasks_run: u64 = sched.iter().map(|w| w.tasks_run).sum();
+    assert!(tasks_run > 0, "workers reported zero tasks run");
+}
+
+#[test]
+fn one_thousand_pipelines_with_mixed_faults_deliver() {
+    chaos_stress(1);
+}
+
+#[test]
+fn one_thousand_pipelines_with_mixed_faults_deliver_multicore() {
+    chaos_stress(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    );
 }
 
 #[test]
@@ -229,6 +261,7 @@ fn slow_modeled_service_does_not_starve_cohosted_pipelines() {
     // pipeline B's models 1ms; if dispatch slept out the model, the lone
     // worker would spend ~100% of wall time asleep on A and B would
     // starve. With deferral, B streams freely.
+    let _serial = STRESS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let modules = module_registry();
     let mut slow = ServiceRegistry::new();
     slow.install(Arc::new(Doubler {
