@@ -19,7 +19,12 @@
 //! multi-core `reactor_scaling` sweep (the same CPU-bound fleet drained
 //! at `workers=1` vs `workers=cores`, with work-stealing and wake
 //! counters; skipped with an explicit marker on single-core runners) —
-//! and writes the results to `BENCH_PR8.json` (override with `--out`).
+//! plus the `fleet_mttr` cell: the cluster chaos harness SIGKILLs one of
+//! three real `videopipe-node` processes mid-run and reports wall-clock
+//! detection latency, fleet MTTR, delivery ratio and the exactly-once
+//! violation count from the coordinator's status file (skipped with an
+//! explicit marker when the node/coordinator binaries are not built) —
+//! and writes the results to `BENCH_PR9.json` (override with `--out`).
 //! `--quick` shrinks iteration counts so the run doubles as a CI smoke
 //! test.
 //!
@@ -54,7 +59,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR8.json".to_string(),
+        out: "BENCH_PR9.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -895,6 +900,90 @@ fn mttr_section(out: &mut String) {
     );
 }
 
+/// Fleet MTTR: the ISSUE PR-9 acceptance scenario against real OS
+/// processes — three `videopipe-node` children under one coordinator,
+/// SIGKILL one mid-run — measured in wall-clock time (unlike the `mttr`
+/// cell above, which replays a single-process failover in deterministic
+/// virtual time). Reports confirmed-loss detection latency, fleet MTTR
+/// (confirm → every orphaned tenant redeployed and reporting), the
+/// delivery ratio over the run window, and the exactly-once violation
+/// count. Skipped with an explicit marker when the node/coordinator
+/// binaries are not next to this one (build with
+/// `cargo build --release -p videopipe --bins`).
+fn fleet_section(quick: bool, out: &mut String) {
+    use videopipe_cluster::scenario::{ClusterScenario, Fault, LocalProcessRunner};
+
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf));
+    let find = |env_key: &str, name: &str| -> Option<std::path::PathBuf> {
+        if let Ok(p) = std::env::var(env_key) {
+            return Some(std::path::PathBuf::from(p));
+        }
+        exe_dir
+            .as_ref()
+            .map(|d| d.join(name))
+            .filter(|p| p.exists())
+    };
+    let coordinator = find("VIDEOPIPE_COORDINATOR_BIN", "videopipe-coordinator");
+    let node = find("VIDEOPIPE_NODE_BIN", "videopipe-node");
+    let (Some(coordinator), Some(node)) = (coordinator, node) else {
+        println!(
+            "fleet mttr: skipped (videopipe-node / videopipe-coordinator not found \
+             next to bench_snapshot; build with `cargo build --release -p videopipe --bins`)"
+        );
+        let _ = writeln!(
+            out,
+            r#"  "fleet_mttr": {{"skipped": "node/coordinator binaries not built"}},"#
+        );
+        return;
+    };
+
+    let tenants = if quick { 30 } else { 200 };
+    let (duration, kill_at) = if quick {
+        (Duration::from_secs(4), Duration::from_millis(1500))
+    } else {
+        (Duration::from_secs(7), Duration::from_millis(2500))
+    };
+    let scenario = ClusterScenario::new("bench-fleet", 3, tenants)
+        .fps(20.0)
+        .run_for(duration)
+        .with_fault(Fault::KillNode {
+            node: 1,
+            at: kill_at,
+        });
+    let outcome = match LocalProcessRunner::new(&coordinator, &node).run(&scenario) {
+        Ok(o) => o,
+        Err(e) => {
+            println!("fleet mttr: scenario failed: {e}");
+            let _ = writeln!(out, r#"  "fleet_mttr": {{"error": "{e}"}},"#);
+            return;
+        }
+    };
+    let ratio = outcome.delivery_ratio();
+    println!(
+        "fleet mttr (3 nodes, {tenants} tenants, SIGKILL one): detect \
+         {:.0} ms, mttr {:.0} ms, delivery {:.1}% ({} / {}), double-counted {}",
+        outcome.max_detect_ms,
+        outcome.max_mttr_ms,
+        ratio * 100.0,
+        outcome.delivered,
+        outcome.expected,
+        outcome.double_counted,
+    );
+    let _ = writeln!(
+        out,
+        r#"  "fleet_mttr": {{"nodes": 3, "tenants": {tenants}, "detect_ms": {:.0}, "mttr_ms": {:.0}, "delivery_ratio": {ratio:.3}, "delivered": {}, "expected": {}, "double_counted": {}, "fenced_reports": {}, "failovers": {}}},"#,
+        outcome.max_detect_ms,
+        outcome.max_mttr_ms,
+        outcome.delivered,
+        outcome.expected,
+        outcome.double_counted,
+        outcome.fenced_reports,
+        outcome.failovers,
+    );
+}
+
 /// Worker for the SLO spike cell: one 40 ms service call per frame.
 struct SloWork;
 impl Module for SloWork {
@@ -1281,6 +1370,7 @@ fn main() {
     roundtrip_section(args.quick, &mut json);
     reactor_scaling_section(args.quick, &mut json);
     mttr_section(&mut json);
+    fleet_section(args.quick, &mut json);
     slo_section(args.quick, &mut json);
     reactor_section(args.quick, &mut json);
     reactor_low_load_section(args.quick, &mut json);

@@ -1436,6 +1436,19 @@ impl TaskRunner for ModuleRunner {
         }
         inbox.pending() > 0
     }
+
+    fn finalize(&mut self, _core: &Core) {
+        // Final checkpoint at teardown: a graceful drain hands off the
+        // freshest recoverable state rather than the last periodic tick.
+        if self.shared.config.checkpoint_period.is_some() {
+            if let Some(snap) = self.instance.snapshot() {
+                self.shared
+                    .checkpoints
+                    .lock()
+                    .insert(self.wiring.name.clone(), snap);
+            }
+        }
+    }
 }
 
 /// Runs one (device, service) host as a non-blocking task. Dispatches up
@@ -1977,6 +1990,11 @@ pub struct ReactorRuntime {
     io_tx: Sender<IoEndpoint>,
     io_rx: Option<Receiver<IoEndpoint>>,
     pipeline_names: Vec<String>,
+    /// Contiguous `[start, end)` task-id range per pipeline, in
+    /// `add_pipeline` order (deploy is single-writer, so each pipeline's
+    /// tasks are registered back to back). Lets [`ReactorRuntime::stop_pipeline`]
+    /// finalize exactly one pipeline's tasks mid-run.
+    task_ranges: Vec<(usize, usize)>,
 }
 
 impl ReactorRuntime {
@@ -2028,6 +2046,7 @@ impl ReactorRuntime {
             // The I/O thread is spawned lazily by the first TCP pipeline.
             io_rx: Some(io_rx),
             pipeline_names: Vec::new(),
+            task_ranges: Vec::new(),
         }
     }
 
@@ -2085,6 +2104,7 @@ impl ReactorRuntime {
     ) -> Result<usize, PipelineError> {
         config.validate()?;
         let pipeline_id = self.pipeline_names.len();
+        let first_task_id = self.next_task_id();
         let pipeline = plan.pipeline.name.clone();
         let hub = InprocHub::new();
         let mut stores = HashMap::new();
@@ -2438,6 +2458,7 @@ impl ReactorRuntime {
         initial_wakes.push(id);
 
         self.pipeline_names.push(pipeline);
+        self.task_ranges.push((first_task_id, self.next_task_id()));
         // Freeze the staging notify map into the immutable snapshot:
         // every steady-state send is now a lock-free HashMap probe.
         pipe.freeze();
@@ -2483,6 +2504,61 @@ impl ReactorRuntime {
     /// unparks), one entry per worker.
     pub fn scheduler_stats(&self) -> Vec<crate::metrics::WorkerSchedStats> {
         self.core.scheduler_stats()
+    }
+
+    /// The latest checkpoint taken for `module` on pipeline `id`, if any
+    /// (periodic while running; refreshed one last time by
+    /// [`ReactorRuntime::stop_pipeline`] and at shutdown).
+    pub fn checkpoint_for(&self, id: usize, module: &str) -> Option<Vec<u8>> {
+        self.core
+            .pipelines
+            .read()
+            .get(id)
+            .and_then(|p| p.shared.checkpoints.lock().get(module).cloned())
+    }
+
+    /// Stops pipeline `id` mid-run without touching the rest of the fleet:
+    /// sets its stop flag (every task runner checks it on entry), wakes its
+    /// interval-parked watchers, and finalizes its tasks so pacer credit
+    /// accounting flushes and each checkpointing module takes one final
+    /// snapshot. The pipeline's task and channel entries stay registered
+    /// (stopped tasks run no more work); its report remains collectable at
+    /// [`ReactorRuntime::finish`]. Returns `false` for unknown ids or
+    /// pipelines already stopped.
+    pub fn stop_pipeline(&self, id: usize) -> bool {
+        let Some(&(start, end)) = self.task_ranges.get(id) else {
+            return false;
+        };
+        {
+            let pipelines = self.core.pipelines.read();
+            let Some(p) = pipelines.get(id) else {
+                return false;
+            };
+            if p.shared.stop.swap(true, Ordering::SeqCst) {
+                return false;
+            }
+            p.shared.gate.trigger();
+        }
+        // Finalize this pipeline's tasks. Locking each runner serializes
+        // with any in-flight quantum; once the stop flag is set a queued
+        // task returns at entry without touching its module instance, so
+        // the final snapshot taken here cannot go stale.
+        let tasks = self.core.tasks.read();
+        for task in tasks.iter().take(end).skip(start) {
+            task.runner.lock().finalize(&self.core);
+        }
+        true
+    }
+
+    /// Collects a report for pipeline `id` from its live shared state
+    /// (non-consuming; pair with [`ReactorRuntime::stop_pipeline`] when
+    /// retiring a single pipeline from a long-lived runtime).
+    pub fn report_for(&self, id: usize) -> Option<RunReport> {
+        self.core
+            .pipelines
+            .read()
+            .get(id)
+            .map(|p| collect_report(&p.shared))
     }
 
     /// Chaos hook: silences `device`'s heartbeat sender on pipeline `id`

@@ -309,6 +309,11 @@ pub struct RunReport {
     /// [`LocalRuntime`], which has no shared scheduler). Runtime-wide:
     /// every pipeline's report carries the same snapshot.
     pub scheduler: Vec<crate::metrics::WorkerSchedStats>,
+    /// Final module checkpoints by module name (empty unless
+    /// [`RuntimeConfig::checkpoint_period`] is set). Teardown takes one
+    /// last snapshot of every checkpointing module, so a graceful shutdown
+    /// hands the freshest recoverable state to whoever redeploys it.
+    pub checkpoints: HashMap<String, Vec<u8>>,
 }
 
 /// A condvar-backed shutdown latch: watcher threads (SLO controller,
@@ -1363,6 +1368,7 @@ pub(crate) fn collect_report(shared: &Shared) -> RunReport {
         slo_moves: shared.knobs.moves.load(Ordering::Relaxed),
         slo_flaps: shared.knobs.flaps.load(Ordering::Relaxed),
         scheduler: Vec::new(),
+        checkpoints: shared.checkpoints.lock().clone(),
     }
 }
 
@@ -1730,6 +1736,14 @@ fn module_loop(
                     },
                 );
             }
+        }
+    }
+    // Final checkpoint at teardown: a graceful shutdown (SIGTERM, drain)
+    // should hand off the freshest recoverable state, not whatever the
+    // last periodic tick happened to capture.
+    if checkpoint_period.is_some() {
+        if let Some(snap) = instance.snapshot() {
+            shared.checkpoints.lock().insert(wiring.name.clone(), snap);
         }
     }
 }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod control;
 mod endpoint;
 mod error;
 mod inproc;

@@ -1,7 +1,32 @@
 //! Property tests for the messaging substrate.
 
 use proptest::prelude::*;
-use videopipe_net::{Endpoint, InprocHub, MsgReceiver, MsgSender, WireMessage};
+use videopipe_net::{Endpoint, InprocHub, MsgReceiver, MsgSender, WireMessage, MAX_FRAME_LEN};
+
+/// Strategy over well-formed wire messages (all kinds, arbitrary ids and
+/// payload bytes) — the seed for the corruption properties below.
+fn arb_wire_message() -> impl Strategy<Value = WireMessage> {
+    (
+        0u8..5,
+        "[a-z0-9_/.]{0,32}",
+        "[a-z0-9_/.]{0,32}",
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(
+            |(kind, channel, reply_to, corr_id, seq, ts, epoch, payload)| {
+                let mut msg = WireMessage::data(channel, seq, ts, bytes::Bytes::from(payload));
+                msg.kind = videopipe_net::MessageKind::from_u8(kind).expect("kind in range");
+                msg.reply_to = reply_to;
+                msg.corr_id = corr_id;
+                msg.epoch = epoch;
+                msg
+            },
+        )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -54,5 +79,83 @@ proptest! {
             prop_assert_eq!(&read_frame(&mut cursor).unwrap(), msg);
         }
         prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Decode is total on arbitrary bytes: it never panics, and when it
+    /// does accept, the input was a canonical encoding (re-encoding the
+    /// result reproduces the exact input — no bytes silently ignored).
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(msg) = WireMessage::decode(&bytes) {
+            let reencoded = msg.encode().unwrap();
+            prop_assert_eq!(reencoded.as_ref(), bytes.as_slice());
+        }
+    }
+
+    /// Every proper prefix of a valid encoding is a typed error: a frame
+    /// cut anywhere mid-stream can never decode (or panic).
+    #[test]
+    fn decode_truncation_is_typed_error(msg in arb_wire_message(), frac in 0.0f64..1.0) {
+        let encoded = msg.encode().unwrap();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((encoded.len() as f64) * frac) as usize;
+        let cut = cut.min(encoded.len().saturating_sub(1));
+        prop_assert!(WireMessage::decode(&encoded[..cut]).is_err(), "prefix of {} bytes decoded", cut);
+    }
+
+    /// A single flipped bit anywhere in a valid encoding either yields a
+    /// typed error or decodes to a message that canonically re-encodes to
+    /// the corrupted bytes — never a panic, never a silent misparse.
+    #[test]
+    fn decode_bit_flip_never_panics(msg in arb_wire_message(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut encoded = msg.encode().unwrap().to_vec();
+        let idx = pos.index(encoded.len());
+        encoded[idx] ^= 1 << bit;
+        if let Ok(corrupted) = WireMessage::decode(&encoded) {
+            let reencoded = corrupted.encode().unwrap();
+            prop_assert_eq!(reencoded.as_ref(), encoded.as_slice());
+        }
+    }
+
+    /// A hostile payload-length prefix (up to u32::MAX, far beyond the
+    /// actual buffer) is rejected by bounds checks BEFORE any allocation:
+    /// decode returns a typed error instead of reserving gigabytes.
+    #[test]
+    fn decode_hostile_payload_length_rejected(msg in arb_wire_message(), claimed in 0u32..u32::MAX) {
+        let mut encoded = msg.encode().unwrap().to_vec();
+        // The frame layout ends with payload_len(4) + payload bytes:
+        // overwrite the length field with an arbitrary claim and drop the
+        // real payload so the claim always exceeds what's present.
+        let len_at = encoded.len() - msg.payload.len() - 4;
+        encoded.truncate(len_at);
+        encoded.extend_from_slice(&claimed.to_be_bytes());
+        let result = WireMessage::decode(&encoded);
+        if claimed == 0 {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err(), "claimed {} bytes with none present", claimed);
+        }
+    }
+
+    /// Stream reads with a hostile frame-length prefix fail fast: any
+    /// declared length beyond MAX_FRAME_LEN is a typed error without
+    /// buffering a byte of body.
+    #[test]
+    fn read_frame_hostile_length_rejected(extra in 1u32..u32::MAX - MAX_FRAME_LEN as u32, garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        use videopipe_net::read_frame;
+        let mut buf = (MAX_FRAME_LEN as u32 + extra).to_be_bytes().to_vec();
+        buf.extend_from_slice(&garbage);
+        let mut cursor = std::io::Cursor::new(buf);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Fleet control-plane payloads inherit the same totality: arbitrary
+    /// bytes never panic ControlMsg::decode, and valid messages roundtrip.
+    #[test]
+    fn control_decode_total_and_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        use videopipe_net::control::ControlMsg;
+        let _ = ControlMsg::decode(&bytes);
+        let msg = ControlMsg::Heartbeat { node_id: "n".into(), seq: bytes.len() as u64 };
+        prop_assert_eq!(ControlMsg::decode(&msg.encode()).unwrap(), msg);
     }
 }

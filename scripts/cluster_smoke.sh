@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Cluster chaos smoke: a 3-node fleet of real OS processes under one
+# coordinator, 60 tenant pipelines at 20 fps, SIGKILL one node mid-run.
+# Asserts the PR-9 acceptance bars from the coordinator's status file:
+#
+#   * confirmed-loss detection < 1 s
+#   * fleet MTTR (confirm -> all orphaned tenants redeployed) < 2 s
+#   * >= 90% delivery across the whole run
+#   * exactly-once: zero frames counted twice
+#   * coordinator and surviving nodes drain clean on SIGTERM (no wedge)
+#
+# Wall-clock is bounded: every process carries a --run-for-ms backstop so
+# a wedged fleet self-terminates even if this script is killed.
+#
+# Usage: scripts/cluster_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TENANTS=60
+FPS=20
+RUN_S=6         # scenario length after fleet-ready
+KILL_AT_S=2     # SIGKILL node-1 this long after fleet-ready
+BACKSTOP_MS=60000
+
+echo "==> building node + coordinator binaries (release)"
+cargo build --release -q -p videopipe --bins
+
+COORD=target/release/videopipe-coordinator
+NODE=target/release/videopipe-node
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/vp-cluster-smoke.XXXXXX")
+ST="$DIR/coordinator.status"
+trap 'kill -9 $(jobs -p) 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+echo "==> starting coordinator + 3 nodes ($TENANTS tenants at $FPS fps)"
+"$COORD" --listen 127.0.0.1:0 --status "$ST" --expect-nodes 3 \
+    --tenants "$TENANTS" --fps "$FPS" --run-for-ms "$BACKSTOP_MS" &
+COORD_PID=$!
+
+# The coordinator publishes its ephemeral control port in the status file.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(awk -F= '$1 == "control_port" { print $2 }' "$ST" 2>/dev/null || true)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: coordinator never published control_port"; exit 1; }
+
+"$NODE" --node-id node-0 --coordinator "127.0.0.1:$PORT" --run-for-ms "$BACKSTOP_MS" & N0=$!
+"$NODE" --node-id node-1 --coordinator "127.0.0.1:$PORT" --run-for-ms "$BACKSTOP_MS" & N1=$!
+"$NODE" --node-id node-2 --coordinator "127.0.0.1:$PORT" --run-for-ms "$BACKSTOP_MS" & N2=$!
+
+sleep "$KILL_AT_S"
+echo "==> SIGKILL node-1 (machine death)"
+kill -9 "$N1"
+sleep $((RUN_S - KILL_AT_S))
+
+echo "==> draining fleet (SIGTERM survivors, then coordinator)"
+kill -TERM "$N0" "$N2"
+SURVIVORS_OK=1
+for pid in "$N0" "$N2"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        SURVIVORS_OK=0
+    elif ! wait "$pid"; then
+        SURVIVORS_OK=0
+    fi
+done
+kill -TERM "$COORD_PID"
+COORD_OK=1
+wait "$COORD_PID" || COORD_OK=0
+
+echo "==> asserting acceptance bars from $ST"
+awk -F= -v survivors_ok="$SURVIVORS_OK" -v coord_ok="$COORD_OK" \
+    -v tenants="$TENANTS" -v fps="$FPS" '
+    { kv[$1] = $2 }
+    END {
+        fail = 0
+        if (coord_ok != 1) { print "FAIL: coordinator wedged (unclean exit)"; fail = 1 }
+        if (survivors_ok != 1) { print "FAIL: a surviving node wedged on SIGTERM"; fail = 1 }
+        if (kv["failovers"] + 0 != 1) { printf "FAIL: expected 1 failover, saw %d\n", kv["failovers"]; fail = 1 }
+        detect = kv["failover.0.detect_ms"] + 0
+        mttr = kv["failover.0.mttr_ms"] + 0
+        if (detect <= 0 || detect >= 1000) { printf "FAIL: detection %.0f ms not under 1 s\n", detect; fail = 1 }
+        if (mttr <= 0 || mttr >= 2000) { printf "FAIL: fleet MTTR %.0f ms not under 2 s\n", mttr; fail = 1 }
+        if (kv["failover.0.recovered"] != kv["failover.0.tenants"]) {
+            printf "FAIL: only %s of %s orphaned tenants recovered\n", kv["failover.0.recovered"], kv["failover.0.tenants"]; fail = 1
+        }
+        expected = tenants * fps * (kv["now_ms"] - kv["first_deploy_ms"]) / 1000.0
+        ratio = (expected > 0) ? kv["delivered_total"] / expected : 1.0
+        if (ratio < 0.9) { printf "FAIL: delivery %.1f%% below 90%%\n", ratio * 100; fail = 1 }
+        if (kv["double_counted_total"] + 0 != 0) {
+            printf "FAIL: exactly-once violated: %s frames counted twice\n", kv["double_counted_total"]; fail = 1
+        }
+        if (fail) exit 1
+        printf "ok: detect %.0f ms, mttr %.0f ms, delivery %.1f%% (%s frames), 0 double-counted\n",
+            detect, mttr, ratio * 100, kv["delivered_total"]
+    }' "$ST"
+
+echo "cluster smoke passed."

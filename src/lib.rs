@@ -18,10 +18,13 @@
 //!   evaluation harness.
 //! * [`apps`] — the paper's applications (fitness, gesture-control IoT,
 //!   fall detection) and the EdgeEye-style baseline.
+//! * [`cluster`] — the multi-process fleet: node agent, coordinator,
+//!   consistent-hash placement and the cluster chaos harness.
 //!
 //! See `README.md` for a tour and `examples/` for runnable pipelines.
 
 pub use videopipe_apps as apps;
+pub use videopipe_cluster as cluster;
 pub use videopipe_core as core;
 pub use videopipe_media as media;
 pub use videopipe_ml as ml;

@@ -230,7 +230,21 @@ fn run_local(
         "running on real threads for {:.1} s...",
         opts.duration.as_secs_f64()
     );
-    let report = runtime.run_for(opts.duration);
+    // Graceful shutdown: SIGTERM/SIGINT ends the run early through the
+    // same drain path as the deadline — in-flight frames complete, every
+    // module takes a final checkpoint, and senders close cleanly.
+    videopipe::cluster::signals::install_termination_handler();
+    let deadline = std::time::Instant::now() + opts.duration;
+    while std::time::Instant::now() < deadline
+        && !videopipe::cluster::signals::termination_requested()
+    {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        std::thread::sleep(left.min(Duration::from_millis(50)));
+    }
+    if videopipe::cluster::signals::termination_requested() {
+        println!("signal received — draining pipelines...");
+    }
+    let report = runtime.finish();
     if slo_enabled {
         println!(
             "slo: finished at lattice level {} ({} move(s), {} flap(s))",
