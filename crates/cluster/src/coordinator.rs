@@ -27,6 +27,7 @@
 //! Everything observable is published through the atomic [`StatusFile`]
 //! every tick; the chaos harness asserts against exactly that file.
 
+use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
@@ -108,8 +109,8 @@ struct TenantState {
     counted: u64,
     duplicates: u64,
     last_seq: u64,
-    source_ckpt: Option<Vec<u8>>,
-    sink_ckpt: Option<Vec<u8>>,
+    source_ckpt: Option<Bytes>,
+    sink_ckpt: Option<Bytes>,
     /// Authoritative placement record (devices = member nodes at plan
     /// time; kept current through `replan_after_device_loss` on failover).
     plan: Option<DeploymentPlan>,
@@ -350,8 +351,8 @@ impl Coordinator {
         counted: u64,
         duplicates: u64,
         last_seq: u64,
-        source_ckpt: Option<Vec<u8>>,
-        sink_ckpt: Option<Vec<u8>>,
+        source_ckpt: Option<Bytes>,
+        sink_ckpt: Option<Bytes>,
     ) {
         let Some(t) = self.tenants.get_mut(tenant) else {
             return;

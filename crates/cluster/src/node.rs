@@ -17,6 +17,7 @@
 //! flushes the TCP sender and exits 0. A SIGKILL, by contrast, is exactly
 //! the machine-death the coordinator's failure detector exists for.
 
+use bytes::Bytes;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -229,8 +230,8 @@ fn deploy_tenant(
     tenant: &str,
     epoch: u64,
     fps_millis: u32,
-    source_ckpt: Option<Vec<u8>>,
-    sink_ckpt: Option<Vec<u8>>,
+    source_ckpt: Option<Bytes>,
+    sink_ckpt: Option<Bytes>,
 ) {
     // A re-deploy (zombie instance, coordinator retry) replaces the old
     // pipeline: stop it first so two instances never count concurrently.
@@ -285,7 +286,7 @@ fn tenant_report(
         duplicates: t.stats.duplicates.load(Ordering::Relaxed),
         double_counted: 0,
         last_seq: next_expected.saturating_sub(1),
-        source_ckpt: rt.checkpoint_for(t.pipe_id, SRC_MODULE),
-        sink_ckpt: rt.checkpoint_for(t.pipe_id, SINK_MODULE),
+        source_ckpt: rt.checkpoint_for(t.pipe_id, SRC_MODULE).map(Bytes::from),
+        sink_ckpt: rt.checkpoint_for(t.pipe_id, SINK_MODULE).map(Bytes::from),
     }
 }

@@ -237,8 +237,8 @@ pub fn tenant_spec(tenant: &str) -> PipelineSpec {
 /// modules from coordinator-shipped checkpoints.
 pub fn counting_workload(
     tenant: &str,
-    source_ckpt: Option<Vec<u8>>,
-    sink_ckpt: Option<Vec<u8>>,
+    source_ckpt: Option<bytes::Bytes>,
+    sink_ckpt: Option<bytes::Bytes>,
 ) -> Result<TenantWorkload, PipelineError> {
     let spec = tenant_spec(tenant);
     let devices = vec![DeviceSpec::new(NODE_DEVICE, 1.0)];

@@ -1989,6 +1989,10 @@ pub struct ReactorRuntime {
     threads: Vec<std::thread::JoinHandle<()>>,
     io_tx: Sender<IoEndpoint>,
     io_rx: Option<Receiver<IoEndpoint>>,
+    /// Read-chunk pool shared by every TCP ingress endpoint this runtime
+    /// binds: the I/O thread drives them all, so chunks recycle across
+    /// pipelines instead of each endpoint cold-starting its own pool.
+    ingress_pool: Arc<videopipe_net::BufferPool>,
     pipeline_names: Vec<String>,
     /// Contiguous `[start, end)` task-id range per pipeline, in
     /// `add_pipeline` order (deploy is single-writer, so each pipeline's
@@ -2045,6 +2049,7 @@ impl ReactorRuntime {
             io_tx,
             // The I/O thread is spawned lazily by the first TCP pipeline.
             io_rx: Some(io_rx),
+            ingress_pool: Arc::new(videopipe_net::BufferPool::default()),
             pipeline_names: Vec::new(),
             task_ranges: Vec::new(),
         }
@@ -2151,7 +2156,10 @@ impl ReactorRuntime {
 
                 let mut tcp_peers = HashMap::new();
                 for d in &plan.devices {
-                    let endpoint = PollEndpoint::bind("127.0.0.1:0")?;
+                    let endpoint = PollEndpoint::bind_with_pool(
+                        "127.0.0.1:0",
+                        Arc::clone(&self.ingress_pool),
+                    )?;
                     let addr = format!("127.0.0.1:{}", endpoint.local_port());
                     let sender = videopipe_net::tcp::TcpSender::connect_retry(
                         &addr,

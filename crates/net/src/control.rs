@@ -13,6 +13,7 @@
 
 use crate::error::NetError;
 use crate::wire::{MessageKind, WireMessage, MAX_CHANNEL_LEN};
+use bytes::Bytes;
 
 /// Channel name carried by every control-plane frame.
 pub const CONTROL_CHANNEL: &str = "fleet/ctrl";
@@ -60,9 +61,11 @@ pub enum ControlMsg {
         /// Source frame rate, milli-fps (20.0 fps = 20_000).
         fps_millis: u32,
         /// Checkpoint for the tenant's source module, if one exists.
-        source_ckpt: Option<Vec<u8>>,
+        /// Shared bytes: on the receive path this is a zero-copy slice of
+        /// the frame the deploy arrived in.
+        source_ckpt: Option<Bytes>,
         /// Checkpoint for the tenant's sink module, if one exists.
-        sink_ckpt: Option<Vec<u8>>,
+        sink_ckpt: Option<Bytes>,
     },
     /// Coordinator → node: stop hosting this tenant (rebalance). The node
     /// stops the pipeline, takes final checkpoints and answers with one
@@ -96,10 +99,11 @@ pub enum ControlMsg {
         double_counted: u64,
         /// Highest frame seq the sink has accepted.
         last_seq: u64,
-        /// Latest source-module checkpoint.
-        source_ckpt: Option<Vec<u8>>,
+        /// Latest source-module checkpoint (shared bytes; zero-copy on the
+        /// receive path).
+        source_ckpt: Option<Bytes>,
         /// Latest sink-module checkpoint.
-        sink_ckpt: Option<Vec<u8>>,
+        sink_ckpt: Option<Bytes>,
     },
     /// Coordinator → node: drain and exit (graceful fleet shutdown).
     Drain,
@@ -189,7 +193,30 @@ impl ControlMsg {
     /// over-limit lengths, non-UTF-8 identifiers or trailing garbage —
     /// never panics, never allocates from an unchecked length.
     pub fn decode(buf: &[u8]) -> Result<Self, NetError> {
-        let mut cur = Cursor { buf, pos: 0 };
+        Self::decode_cursor(Cursor {
+            buf,
+            pos: 0,
+            owner: None,
+        })
+    }
+
+    /// Decodes one control message whose bytes are a shared [`Bytes`]
+    /// buffer: checkpoint blobs come out as zero-copy slices of `payload`
+    /// instead of fresh allocations. Same validation as
+    /// [`ControlMsg::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ControlMsg::decode`].
+    pub fn decode_shared(payload: &Bytes) -> Result<Self, NetError> {
+        Self::decode_cursor(Cursor {
+            buf: payload,
+            pos: 0,
+            owner: Some(payload),
+        })
+    }
+
+    fn decode_cursor(mut cur: Cursor<'_>) -> Result<Self, NetError> {
         let tag = cur.u8()?;
         let msg = match tag {
             TAG_HELLO => ControlMsg::Hello {
@@ -233,7 +260,7 @@ impl ControlMsg {
             },
             _ => return Err(NetError::BadFrame("control: unknown tag")),
         };
-        if cur.pos != buf.len() {
+        if cur.pos != cur.buf.len() {
             return Err(NetError::BadFrame("control: trailing garbage"));
         }
         Ok(msg)
@@ -263,7 +290,9 @@ impl ControlMsg {
         if msg.kind != MessageKind::Control || msg.channel != CONTROL_CHANNEL {
             return Err(NetError::BadFrame("control: not a control frame"));
         }
-        Self::decode(&msg.payload)
+        // The payload is already shared bytes (a slice of the read chunk on
+        // the zero-copy receive path): checkpoints decode as slices of it.
+        Self::decode_shared(&msg.payload)
     }
 }
 
@@ -291,6 +320,10 @@ fn put_blob(out: &mut Vec<u8>, blob: Option<&[u8]>) {
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding from shared bytes, the owning buffer — blobs slice it
+    /// instead of allocating. `buf` is always `owner.as_ref()` when set,
+    /// so positions in `buf` are offsets into `owner`.
+    owner: Option<&'a Bytes>,
 }
 
 impl Cursor<'_> {
@@ -332,7 +365,7 @@ impl Cursor<'_> {
             .map_err(|_| NetError::BadFrame("control: identifier not utf-8"))
     }
 
-    fn blob(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+    fn blob(&mut self) -> Result<Option<Bytes>, NetError> {
         match self.u8()? {
             0 => Ok(None),
             1 => {
@@ -340,9 +373,16 @@ impl Cursor<'_> {
                 if len > MAX_CHECKPOINT_LEN {
                     return Err(NetError::BadFrame("control: checkpoint too large"));
                 }
-                // Bounds-check against the remaining buffer BEFORE the
+                // Bounds-check against the remaining buffer BEFORE any
                 // allocation: a hostile length cannot over-allocate.
-                Ok(Some(self.take(len)?.to_vec()))
+                let start = self.pos;
+                self.take(len)?;
+                Ok(Some(match self.owner {
+                    // Shared decode: the blob is a zero-copy slice of the
+                    // frame's own allocation.
+                    Some(owner) => owner.slice(start..start + len),
+                    None => Bytes::copy_from_slice(&self.buf[start..start + len]),
+                }))
             }
             _ => Err(NetError::BadFrame("control: bad blob flag")),
         }
@@ -367,7 +407,7 @@ mod tests {
                 tenant: "t017".into(),
                 epoch: 3,
                 fps_millis: 20_000,
-                source_ckpt: Some(vec![1, 0, 0, 0, 0, 0, 0, 0, 9]),
+                source_ckpt: Some(Bytes::from(vec![1, 0, 0, 0, 0, 0, 0, 0, 9])),
                 sink_ckpt: None,
             },
             ControlMsg::RetireTenant {
@@ -383,8 +423,8 @@ mod tests {
                 duplicates: 4,
                 double_counted: 0,
                 last_seq: 815,
-                source_ckpt: Some(vec![7; 32]),
-                sink_ckpt: Some(vec![9; 48]),
+                source_ckpt: Some(Bytes::from(vec![7; 32])),
+                sink_ckpt: Some(Bytes::from(vec![9; 48])),
             },
             ControlMsg::Drain,
             ControlMsg::Bye {
@@ -461,5 +501,27 @@ mod tests {
         let mut frame = ControlMsg::Drain.into_wire();
         frame.kind = MessageKind::Data;
         assert!(ControlMsg::from_wire(&frame).is_err());
+    }
+
+    #[test]
+    fn decode_shared_matches_decode_and_borrows_blobs() {
+        for msg in samples() {
+            let payload = Bytes::from(msg.encode());
+            let copied = ControlMsg::decode(&payload).expect("decode");
+            let shared = ControlMsg::decode_shared(&payload).expect("decode_shared");
+            assert_eq!(copied, shared);
+            assert_eq!(shared, msg);
+            if let ControlMsg::TenantReport {
+                source_ckpt: Some(ckpt),
+                ..
+            } = &shared
+            {
+                let range = payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+                assert!(
+                    range.contains(&(ckpt.as_ptr() as usize)),
+                    "checkpoint must be a slice of the payload allocation"
+                );
+            }
+        }
     }
 }

@@ -28,14 +28,20 @@ mod endpoint;
 mod error;
 mod inproc;
 pub mod patterns;
+pub mod pool;
 pub mod tcp;
+pub mod telemetry;
 mod wire;
 
 pub use endpoint::{Endpoint, EndpointMode, EndpointTransport};
 pub use error::NetError;
 pub use inproc::{InprocHub, InprocReceiver, InprocSender};
+pub use pool::{BufferPool, PoolStats};
 pub use tcp::PollEndpoint;
-pub use wire::{read_frame, write_frame, MessageKind, WireMessage, MAX_CHANNEL_LEN, MAX_FRAME_LEN};
+pub use wire::{
+    read_frame, write_frame, FrameBatch, MessageKind, StreamDecoder, WireMessage, MAX_CHANNEL_LEN,
+    MAX_FRAME_LEN,
+};
 
 use std::time::Duration;
 

@@ -3,21 +3,22 @@
 //! Cross-device pipeline edges use this transport: a [`TcpListenerHandle`]
 //! accepts any number of peers and funnels their frames into one receiver
 //! (matching ZeroMQ PULL semantics), and [`TcpSender`] is the connecting
-//! side. Frames are encoded with [`WireMessage::encode`] behind a `u32`
-//! length prefix; consecutive frames batch-encode into single contiguous
-//! writes, and an optional [`CoalescePolicy`] holds small messages back
-//! briefly so bursts share a syscall.
+//! side. Frames carry a `u32` length prefix; both directions run the
+//! zero-copy wire path — receivers reassemble frames in pooled chunks via
+//! [`StreamDecoder`] so payloads are shared slices of the read buffer, and
+//! senders stage frames in a [`FrameBatch`] flushed with vectored writes so
+//! a whole coalesced burst (see [`CoalescePolicy`]) is one syscall with no
+//! payload copy.
 
 use crate::error::NetError;
-use crate::wire::{read_frame, WireMessage, MAX_FRAME_LEN};
+use crate::pool::BufferPool;
+use crate::wire::{FrameBatch, StreamDecoder, WireMessage};
 use crate::{MsgReceiver, MsgSender};
-use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::io::{BufReader, Read, Write};
+use std::io::Read;
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -103,24 +104,35 @@ fn accept_loop(listener: TcpListener, tx: Sender<WireMessage>, shutdown: Arc<Ato
     }
 }
 
-fn reader_loop(stream: TcpStream, tx: Sender<WireMessage>, shutdown: Arc<AtomicBool>) {
-    // Blocking reads with a timeout so shutdown is honoured.
+fn reader_loop(mut stream: TcpStream, tx: Sender<WireMessage>, shutdown: Arc<AtomicBool>) {
+    // Blocking reads with a timeout so shutdown is honoured. Bytes land
+    // directly in the decoder's pooled chunk; decoded payloads are
+    // zero-copy slices of it.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut reader = BufReader::new(stream);
+    let mut decoder = StreamDecoder::new(Arc::new(BufferPool::default()));
     while !shutdown.load(Ordering::SeqCst) {
-        match read_frame(&mut reader) {
-            Ok(msg) => {
-                if tx.send(msg).is_err() {
-                    break; // receiver dropped
+        let space = decoder.read_space();
+        if space.is_empty() {
+            break; // corrupt stream
+        }
+        match stream.read(space) {
+            Ok(0) => break, // clean EOF
+            Ok(n) => {
+                decoder.commit(n);
+                while let Some(msg) = decoder.next_frame() {
+                    if tx.send(msg).is_err() {
+                        return; // receiver dropped
+                    }
                 }
             }
-            Err(NetError::Io(e))
+            Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 continue;
             }
-            Err(_) => break, // disconnect or corrupt stream
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // disconnect
         }
     }
 }
@@ -175,7 +187,7 @@ impl Default for ReconnectPolicy {
 /// Small-message coalescing for a [`TcpSender`].
 ///
 /// With a policy installed, messages are staged in the sender and flushed
-/// as one contiguous batch write when the pending bytes reach `max_bytes`
+/// as one vectored batch write when the pending bytes reach `max_bytes`
 /// or the oldest staged message has waited `max_delay` (a background
 /// flusher honours the deadline when sends pause). Trades a bounded,
 /// sub-millisecond latency hit for one syscall per batch instead of one
@@ -186,6 +198,10 @@ pub struct CoalescePolicy {
     pub max_bytes: usize,
     /// Flush no later than this after the first message was staged.
     pub max_delay: Duration,
+    /// Ceiling on I/O slices per vectored write (≈ 2 per frame: header +
+    /// payload). Bounds per-syscall setup cost and stays well under the
+    /// kernel's `IOV_MAX`.
+    pub max_iovecs: usize,
 }
 
 impl Default for CoalescePolicy {
@@ -193,9 +209,13 @@ impl Default for CoalescePolicy {
         CoalescePolicy {
             max_bytes: 16 * 1024,
             max_delay: Duration::from_micros(500),
+            max_iovecs: DEFAULT_MAX_IOVECS,
         }
     }
 }
+
+/// Default iovec ceiling per vectored write.
+pub const DEFAULT_MAX_IOVECS: usize = 64;
 
 /// Ceiling on a single batch write: bounds the bytes that can be torn or
 /// resent around a mid-batch disconnect.
@@ -204,13 +224,11 @@ const FLUSH_CHUNK: usize = 64 * 1024;
 /// Everything about the connection that changes over its lifetime.
 struct SenderState {
     stream: Option<TcpStream>,
-    buffer: VecDeque<WireMessage>,
-    /// Framed bytes the backlog would occupy on the wire.
-    pending_bytes: usize,
+    /// Staged frames awaiting the wire: headers pre-encoded into pooled
+    /// arenas, payloads shared — flushed with vectored writes.
+    batch: FrameBatch,
     /// When the oldest staged message was queued (coalescing deadline).
     batch_since: Option<Instant>,
-    /// Reused batch-encode scratch buffer.
-    scratch: BytesMut,
     next_attempt: Instant,
     backoff: Duration,
 }
@@ -219,18 +237,15 @@ impl SenderState {
     fn new(stream: Option<TcpStream>) -> Self {
         SenderState {
             stream,
-            buffer: VecDeque::new(),
-            pending_bytes: 0,
+            batch: FrameBatch::new(),
             batch_since: None,
-            scratch: BytesMut::new(),
             next_attempt: Instant::now(),
             backoff: Duration::from_millis(5),
         }
     }
 
     fn clear_backlog(&mut self) {
-        self.buffer.clear();
-        self.pending_bytes = 0;
+        self.batch.clear();
         self.batch_since = None;
     }
 }
@@ -240,62 +255,32 @@ struct SenderShared {
     state: Mutex<SenderState>,
     dropped: AtomicU64,
     reconnects: AtomicU64,
-    /// Stream writes issued (each is one contiguous batch).
+    /// Vectored writes issued (each is one batch of frame segments).
     wire_writes: AtomicU64,
     /// Messages those writes carried.
     wire_messages: AtomicU64,
+    /// Iovec ceiling per write (from [`CoalescePolicy::max_iovecs`]).
+    max_iovecs: AtomicUsize,
 }
 
 impl SenderShared {
     /// Writes as much of the backlog as the connection accepts, in order,
-    /// batch-encoding consecutive frames into single contiguous writes of
-    /// up to [`FLUSH_CHUNK`] bytes. On a disconnect-flavoured error the
-    /// stream is dropped and the unsent tail stays buffered for the next
-    /// attempt.
+    /// flushing vectored batches of up to [`FLUSH_CHUNK`] bytes. On a
+    /// disconnect-flavoured error the stream is dropped and the unsent
+    /// tail stays staged for the next attempt, with the front frame's
+    /// write cursor rewound so the replacement connection sees it whole.
     fn flush(&self, state: &mut SenderState) -> Result<(), NetError> {
+        let max_iovecs = self.max_iovecs.load(Ordering::Relaxed);
         let mut lost = false;
-        while state.stream.is_some() && !state.buffer.is_empty() {
-            // Batch-encode a prefix of the backlog into one buffer.
-            let mut scratch = std::mem::take(&mut state.scratch);
-            scratch.clear();
-            let mut batched = 0usize;
-            let mut encode_err = None;
-            for msg in state.buffer.iter() {
-                if batched > 0 && scratch.len() + 4 + msg.encoded_len() > FLUSH_CHUNK {
-                    break;
-                }
-                match msg.encode_framed_into(&mut scratch) {
-                    Ok(()) => batched += 1,
-                    Err(e) => {
-                        // An unencodable message: surface it once it is at
-                        // the front; anything batched before it still goes
-                        // out below.
-                        if batched == 0 {
-                            state.scratch = scratch;
-                            return Err(e);
-                        }
-                        encode_err = Some(e);
-                        break;
-                    }
-                }
-            }
+        while !state.batch.is_empty() {
             let Some(stream) = state.stream.as_mut() else {
-                state.scratch = scratch;
                 break;
             };
-            let write = stream.write_all(&scratch).and_then(|()| stream.flush());
-            state.scratch = scratch;
-            match write {
-                Ok(()) => {
+            match state.batch.write_some(stream, FLUSH_CHUNK, max_iovecs) {
+                Ok((completed, _bytes)) => {
                     self.wire_writes.fetch_add(1, Ordering::Relaxed);
                     self.wire_messages
-                        .fetch_add(batched as u64, Ordering::Relaxed);
-                    for _ in 0..batched {
-                        if let Some(sent) = state.buffer.pop_front() {
-                            state.pending_bytes =
-                                state.pending_bytes.saturating_sub(4 + sent.encoded_len());
-                        }
-                    }
+                        .fetch_add(completed as u64, Ordering::Relaxed);
                 }
                 Err(e) if is_disconnect(e.kind()) => {
                     lost = true;
@@ -303,16 +288,13 @@ impl SenderShared {
                 }
                 Err(e) => return Err(NetError::Io(e)),
             }
-            if let Some(e) = encode_err {
-                let _ = e; // reported when the bad message reaches the front
-                break;
-            }
         }
-        if state.buffer.is_empty() {
+        if state.batch.is_empty() {
             state.batch_since = None;
         }
         if lost {
             state.stream = None;
+            state.batch.reset_cursor();
             state.next_attempt = Instant::now();
         }
         Ok(())
@@ -357,6 +339,7 @@ impl TcpSender {
                 reconnects: AtomicU64::new(0),
                 wire_writes: AtomicU64::new(0),
                 wire_messages: AtomicU64::new(0),
+                max_iovecs: AtomicUsize::new(DEFAULT_MAX_IOVECS),
             }),
             peer: addr.to_string(),
             reconnect: None,
@@ -401,6 +384,9 @@ impl TcpSender {
     #[must_use]
     pub fn with_coalescing(mut self, policy: CoalescePolicy) -> Self {
         self.coalesce = Some(policy);
+        self.shared
+            .max_iovecs
+            .store(policy.max_iovecs.max(1), Ordering::Relaxed);
         let shared = Arc::clone(&self.shared);
         let stop = Arc::clone(&self.stop_flusher);
         // Tick well inside the deadline so a staged batch overshoots
@@ -412,7 +398,7 @@ impl TcpSender {
                 while !stop.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
                     let mut state = shared.state.lock();
-                    if state.stream.is_none() || state.buffer.is_empty() {
+                    if state.stream.is_none() || state.batch.is_empty() {
                         continue;
                     }
                     let expired = state
@@ -446,10 +432,10 @@ impl TcpSender {
 
     /// Messages currently buffered awaiting a flush or reconnect.
     pub fn buffered(&self) -> usize {
-        self.shared.state.lock().buffer.len()
+        self.shared.state.lock().batch.len()
     }
 
-    /// Contiguous stream writes issued so far (each carries one batch of
+    /// Vectored stream writes issued so far (each carries one batch of
     /// one or more frames).
     pub fn wire_writes(&self) -> u64 {
         self.shared.wire_writes.load(Ordering::Relaxed)
@@ -476,6 +462,9 @@ impl TcpSender {
     pub fn inject_disconnect(&self) -> bool {
         let mut state = self.shared.state.lock();
         state.next_attempt = Instant::now();
+        // Any partially-written front frame must replay whole on the next
+        // connection.
+        state.batch.reset_cursor();
         if let Some(policy) = &self.reconnect {
             state.backoff = policy.base_backoff;
         }
@@ -539,16 +528,14 @@ impl MsgSender for TcpSender {
         if self.reconnect.is_none() && state.stream.is_none() {
             return Err(NetError::Disconnected);
         }
-        if state.buffer.is_empty() {
+        if state.batch.is_empty() {
             state.batch_since = Some(Instant::now());
         }
-        state.pending_bytes += 4 + msg.encoded_len();
-        state.buffer.push_back(msg);
+        // Staging encodes the header now, so an unencodable message fails
+        // here — at its own call site — and the batch is untouched.
+        state.batch.stage(&msg)?;
         if let Some(policy) = &self.reconnect {
-            if state.buffer.len() > policy.buffer_limit {
-                if let Some(old) = state.buffer.pop_front() {
-                    state.pending_bytes = state.pending_bytes.saturating_sub(4 + old.encoded_len());
-                }
+            if state.batch.len() > policy.buffer_limit && state.batch.drop_front().is_some() {
                 self.shared.dropped.fetch_add(1, Ordering::Relaxed);
             }
             self.try_redial(&mut state, policy);
@@ -557,7 +544,7 @@ impl MsgSender for TcpSender {
         // young; the background flusher honours the deadline.
         if let Some(policy) = &self.coalesce {
             if state.stream.is_some()
-                && state.pending_bytes < policy.max_bytes
+                && state.batch.pending_bytes() < policy.max_bytes
                 && state
                     .batch_since
                     .is_some_and(|since| since.elapsed() < policy.max_delay)
@@ -576,36 +563,46 @@ impl MsgSender for TcpSender {
     }
 }
 
-/// Bytes pulled off a socket per `read` call during a poll pass.
-const POLL_READ_CHUNK: usize = 16 * 1024;
-
 /// A non-blocking poll-mode TCP ingress: the same wire format as
 /// [`TcpListenerHandle`], but with *zero* background threads. One caller —
 /// typically a reactor I/O thread multiplexing many endpoints — drives
 /// [`PollEndpoint::poll`], which accepts pending peers, drains whatever
 /// bytes the kernel has buffered, and emits every completed frame into the
-/// provided sink. Partial frames stay in a per-connection reassembly buffer
-/// across calls, so frames may arrive byte-by-byte without ever blocking
-/// the poller.
+/// provided sink. Each connection reads straight into a pooled
+/// [`StreamDecoder`] chunk — decoded payloads are zero-copy slices of the
+/// read buffer — and partial frames persist across calls, so frames may
+/// arrive byte-by-byte without ever blocking the poller.
 pub struct PollEndpoint {
     listener: TcpListener,
     local_port: u16,
     conns: Vec<PollConn>,
     accepted: u64,
+    pool: Arc<BufferPool>,
 }
 
 struct PollConn {
     stream: TcpStream,
-    buf: BytesMut,
+    decoder: StreamDecoder,
 }
 
 impl PollEndpoint {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) in non-blocking mode.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) in non-blocking mode with a
+    /// private buffer pool.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn bind(addr: &str) -> Result<Self, NetError> {
+        Self::bind_with_pool(addr, Arc::new(BufferPool::default()))
+    }
+
+    /// Binds `addr` drawing read chunks from `pool` — endpoints multiplexed
+    /// on one I/O thread share a pool so chunks recycle across connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_with_pool(addr: &str, pool: Arc<BufferPool>) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_port = listener.local_addr()?.port();
@@ -614,6 +611,7 @@ impl PollEndpoint {
             local_port,
             conns: Vec::new(),
             accepted: 0,
+            pool,
         })
     }
 
@@ -655,7 +653,7 @@ impl PollEndpoint {
                         self.accepted += 1;
                         self.conns.push(PollConn {
                             stream,
-                            buf: BytesMut::new(),
+                            decoder: StreamDecoder::new(Arc::clone(&self.pool)),
                         });
                     }
                 }
@@ -664,16 +662,25 @@ impl PollEndpoint {
             }
         }
         let mut delivered = 0usize;
-        let mut chunk = [0u8; POLL_READ_CHUNK];
         self.conns.retain_mut(|conn| {
             if delivered >= budget {
                 return true;
             }
-            // Frames left buffered by an earlier budget-capped pass must
-            // drain even when the kernel has nothing new to read.
-            match drain_frames_budget(&mut conn.buf, budget - delivered, sink) {
-                Ok(n) => delivered += n,
-                Err(()) => return false,
+            // Frames decoded but undelivered by an earlier budget-capped
+            // pass must drain even when the kernel has nothing new to read.
+            while delivered < budget {
+                match conn.decoder.next_frame() {
+                    Some(msg) => {
+                        sink(msg);
+                        delivered += 1;
+                    }
+                    None => break,
+                }
+            }
+            if conn.decoder.is_corrupt() {
+                // Good frames decoded before the poison point deliver
+                // first; once the queue is dry the connection goes.
+                return conn.decoder.pending_frames() > 0;
             }
             loop {
                 if delivered >= budget {
@@ -681,27 +688,42 @@ impl PollEndpoint {
                     // whatever the kernel still holds for the next pass.
                     return true;
                 }
-                match conn.stream.read(&mut chunk) {
+                // Read straight into the decoder's pooled chunk: no
+                // intermediate stack buffer, no copy into a reassembly Vec.
+                let space = conn.decoder.read_space();
+                if space.is_empty() {
+                    break;
+                }
+                match conn.stream.read(space) {
                     Ok(0) => {
-                        // Clean EOF: flush complete frames already
-                        // buffered (up to the budget), then drop the
-                        // connection — unless the budget cut the flush
-                        // short, in which case it stays for the next pass.
-                        return match drain_frames_budget(&mut conn.buf, budget - delivered, sink) {
-                            Ok(n) => {
-                                delivered += n;
-                                delivered >= budget && conn.buf.len() >= 4
+                        // Clean EOF: flush complete frames already decoded
+                        // (up to the budget), then drop the connection —
+                        // unless the budget cut the flush short, in which
+                        // case it stays for the next pass.
+                        while delivered < budget {
+                            match conn.decoder.next_frame() {
+                                Some(msg) => {
+                                    sink(msg);
+                                    delivered += 1;
+                                }
+                                None => break,
                             }
-                            Err(()) => false,
-                        };
+                        }
+                        return conn.decoder.pending_frames() > 0;
                     }
                     Ok(n) => {
-                        conn.buf.extend_from_slice(&chunk[..n]);
-                        // Parse as we read so a fast peer cannot grow the
-                        // reassembly buffer beyond one partial frame.
-                        match drain_frames_budget(&mut conn.buf, budget - delivered, sink) {
-                            Ok(n) => delivered += n,
-                            Err(()) => return false, // corrupt stream
+                        conn.decoder.commit(n);
+                        while delivered < budget {
+                            match conn.decoder.next_frame() {
+                                Some(msg) => {
+                                    sink(msg);
+                                    delivered += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        if conn.decoder.is_corrupt() {
+                            return conn.decoder.pending_frames() > 0;
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -724,45 +746,11 @@ impl std::fmt::Debug for PollEndpoint {
     }
 }
 
-/// Decodes complete length-prefixed frames at the front of `buf`, feeding
-/// each to `sink`, stopping after `max` frames; the rest stay buffered
-/// for a later pass (a budgeted poll needs the cap here too — one 16 KiB
-/// read can carry hundreds of small frames). Leaves a trailing partial
-/// frame in place. `Err(())` means the stream is corrupt (implausible
-/// prefix or an undecodable body) and the connection must be closed.
-fn drain_frames_budget(
-    buf: &mut BytesMut,
-    max: usize,
-    sink: &mut dyn FnMut(WireMessage),
-) -> Result<usize, ()> {
-    let mut delivered = 0usize;
-    loop {
-        if delivered >= max || buf.len() < 4 {
-            return Ok(delivered);
-        }
-        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(());
-        }
-        if buf.len() < 4 + len {
-            return Ok(delivered);
-        }
-        let _prefix = buf.split_to(4);
-        let body = buf.split_to(len);
-        match WireMessage::decode(&body) {
-            Ok(msg) => {
-                sink(msg);
-                delivered += 1;
-            }
-            Err(_) => return Err(()),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use bytes::{Bytes, BytesMut};
+    use std::io::Write;
 
     #[test]
     fn end_to_end_over_loopback() {
@@ -927,6 +915,7 @@ mod tests {
             .with_coalescing(CoalescePolicy {
                 max_bytes: 4 * 1024,
                 max_delay: Duration::from_millis(5),
+                ..CoalescePolicy::default()
             });
         for i in 0..100u64 {
             sender.send(WireMessage::signal("x", i)).unwrap();
@@ -953,6 +942,7 @@ mod tests {
             .with_coalescing(CoalescePolicy {
                 max_bytes: 1024 * 1024,
                 max_delay: Duration::from_millis(2),
+                ..CoalescePolicy::default()
             });
         // One message, far below max_bytes: only the deadline can flush it.
         sender.send(WireMessage::signal("x", 7)).unwrap();
@@ -971,6 +961,7 @@ mod tests {
                 // A deadline long enough that only the size trigger can
                 // explain a prompt flush.
                 max_delay: Duration::from_secs(30),
+                ..CoalescePolicy::default()
             });
         let payload = Bytes::from(vec![3u8; 512]);
         sender.send(WireMessage::data("m", 1, 0, payload)).unwrap();
@@ -993,6 +984,7 @@ mod tests {
             .with_coalescing(CoalescePolicy {
                 max_bytes: 4 * 1024,
                 max_delay: Duration::from_millis(2),
+                ..CoalescePolicy::default()
             });
         sender.send(WireMessage::signal("x", 0)).unwrap();
         assert_eq!(

@@ -1,0 +1,110 @@
+//! Process-wide wire-path counters.
+//!
+//! The zero-copy data plane makes claims — "≤ 1 payload copy per
+//! direction", "frames batch into vectored writes", "read chunks come from
+//! the pool" — and these counters are how the claims are checked at run
+//! time instead of trusted. Everything is a relaxed atomic: increments sit
+//! on hot paths and only ever feed monitoring, never control flow.
+//!
+//! [`snapshot`] returns a copy; callers measuring a workload take one
+//! snapshot before and one after and subtract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Payloads copied out of a receive buffer (legacy borrow-free decode).
+pub(crate) static RX_PAYLOAD_COPIES: AtomicU64 = AtomicU64::new(0);
+/// Frames decoded as zero-copy slices of a shared read chunk.
+pub(crate) static RX_ZERO_COPY_FRAMES: AtomicU64 = AtomicU64::new(0);
+/// Read-chunk rotations (one freeze per rotation, amortised over frames).
+pub(crate) static RX_CHUNK_ROTATIONS: AtomicU64 = AtomicU64::new(0);
+/// Bytes of trailing partial frames carried into the next chunk — the only
+/// receive-side memcpy besides the kernel read itself.
+pub(crate) static RX_TAIL_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Vectored writes issued by frame batches.
+pub(crate) static TX_VECTORED_WRITES: AtomicU64 = AtomicU64::new(0);
+/// I/O slices those writes carried (≈ 2 per frame: header + payload).
+pub(crate) static TX_IOVECS: AtomicU64 = AtomicU64::new(0);
+/// Frames fully written by vectored writes.
+pub(crate) static TX_FRAMES: AtomicU64 = AtomicU64::new(0);
+/// Pool buffers reclaimed via refcount drop (no allocation, no copy).
+pub(crate) static POOL_RECLAIMED: AtomicU64 = AtomicU64::new(0);
+/// Pool requests that fell through to a fresh allocation.
+pub(crate) static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of every wire-path counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Payloads copied out of a receive buffer (legacy decode path).
+    pub rx_payload_copies: u64,
+    /// Frames decoded as zero-copy slices of a shared read chunk.
+    pub rx_zero_copy_frames: u64,
+    /// Read-chunk rotations (one O(1) freeze each).
+    pub rx_chunk_rotations: u64,
+    /// Partial-frame tail bytes copied across chunk rotations.
+    pub rx_tail_copy_bytes: u64,
+    /// Vectored writes issued.
+    pub tx_vectored_writes: u64,
+    /// I/O slices carried by those writes.
+    pub tx_iovecs: u64,
+    /// Frames fully written.
+    pub tx_frames: u64,
+    /// Pool buffers reclaimed after their refcount dropped.
+    pub pool_reclaimed: u64,
+    /// Pool requests served by a fresh allocation.
+    pub pool_misses: u64,
+}
+
+impl NetCounters {
+    /// Counter-wise difference versus an earlier snapshot.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &NetCounters) -> NetCounters {
+        NetCounters {
+            rx_payload_copies: self.rx_payload_copies - earlier.rx_payload_copies,
+            rx_zero_copy_frames: self.rx_zero_copy_frames - earlier.rx_zero_copy_frames,
+            rx_chunk_rotations: self.rx_chunk_rotations - earlier.rx_chunk_rotations,
+            rx_tail_copy_bytes: self.rx_tail_copy_bytes - earlier.rx_tail_copy_bytes,
+            tx_vectored_writes: self.tx_vectored_writes - earlier.tx_vectored_writes,
+            tx_iovecs: self.tx_iovecs - earlier.tx_iovecs,
+            tx_frames: self.tx_frames - earlier.tx_frames,
+            pool_reclaimed: self.pool_reclaimed - earlier.pool_reclaimed,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+        }
+    }
+}
+
+/// Reads every counter (relaxed; individually consistent, not a fence).
+pub fn snapshot() -> NetCounters {
+    NetCounters {
+        rx_payload_copies: RX_PAYLOAD_COPIES.load(Ordering::Relaxed),
+        rx_zero_copy_frames: RX_ZERO_COPY_FRAMES.load(Ordering::Relaxed),
+        rx_chunk_rotations: RX_CHUNK_ROTATIONS.load(Ordering::Relaxed),
+        rx_tail_copy_bytes: RX_TAIL_COPY_BYTES.load(Ordering::Relaxed),
+        tx_vectored_writes: TX_VECTORED_WRITES.load(Ordering::Relaxed),
+        tx_iovecs: TX_IOVECS.load(Ordering::Relaxed),
+        tx_frames: TX_FRAMES.load(Ordering::Relaxed),
+        pool_reclaimed: POOL_RECLAIMED.load(Ordering::Relaxed),
+        pool_misses: POOL_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = NetCounters {
+            rx_payload_copies: 1,
+            tx_frames: 10,
+            ..NetCounters::default()
+        };
+        let b = NetCounters {
+            rx_payload_copies: 4,
+            tx_frames: 25,
+            ..NetCounters::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.rx_payload_copies, 3);
+        assert_eq!(d.tx_frames, 15);
+    }
+}

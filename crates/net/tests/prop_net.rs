@@ -1,7 +1,39 @@
 //! Property tests for the messaging substrate.
 
 use proptest::prelude::*;
-use videopipe_net::{Endpoint, InprocHub, MsgReceiver, MsgSender, WireMessage, MAX_FRAME_LEN};
+use std::sync::Arc;
+use videopipe_net::{
+    BufferPool, Endpoint, FrameBatch, InprocHub, MsgReceiver, MsgSender, StreamDecoder,
+    WireMessage, MAX_FRAME_LEN,
+};
+
+/// Writer that accepts at most `cap` bytes per call — models a kernel that
+/// keeps returning short writes.
+struct ShortWriter {
+    out: Vec<u8>,
+    cap: usize,
+}
+
+impl std::io::Write for ShortWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.cap);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The PR 9 codec: every frame batch-encoded contiguously. The zero-copy
+/// path must stay byte-identical to this.
+fn legacy_framing(msgs: &[WireMessage]) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    for msg in msgs {
+        msg.encode_framed_into(&mut buf).unwrap();
+    }
+    buf.to_vec()
+}
 
 /// Strategy over well-formed wire messages (all kinds, arbitrary ids and
 /// payload bytes) — the seed for the corruption properties below.
@@ -107,9 +139,10 @@ proptest! {
     /// typed error or decodes to a message that canonically re-encodes to
     /// the corrupted bytes — never a panic, never a silent misparse.
     #[test]
-    fn decode_bit_flip_never_panics(msg in arb_wire_message(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+    fn decode_bit_flip_never_panics(msg in arb_wire_message(), pos in any::<u64>(), bit in 0u8..8) {
         let mut encoded = msg.encode().unwrap().to_vec();
-        let idx = pos.index(encoded.len());
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (pos % encoded.len() as u64) as usize;
         encoded[idx] ^= 1 << bit;
         if let Ok(corrupted) = WireMessage::decode(&encoded) {
             let reencoded = corrupted.encode().unwrap();
@@ -157,5 +190,94 @@ proptest! {
         let _ = ControlMsg::decode(&bytes);
         let msg = ControlMsg::Heartbeat { node_id: "n".into(), seq: bytes.len() as u64 };
         prop_assert_eq!(ControlMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Vectored encoding is byte-identical to the PR 9 contiguous codec,
+    /// no matter how short the kernel cuts each write or how tight the
+    /// per-flush byte/iovec caps are.
+    #[test]
+    fn vectored_encode_matches_legacy_codec(
+        msgs in proptest::collection::vec(arb_wire_message(), 0..8),
+        cap in 1usize..200,
+        max_bytes in 16usize..4096,
+        max_iovecs in 1usize..16,
+    ) {
+        let legacy = legacy_framing(&msgs);
+        let mut batch = FrameBatch::new();
+        for msg in &msgs {
+            batch.stage(msg).unwrap();
+        }
+        prop_assert_eq!(batch.pending_bytes(), legacy.len());
+        let mut writer = ShortWriter { out: Vec::new(), cap };
+        while !batch.is_empty() {
+            let (_, n) = batch.write_some(&mut writer, max_bytes, max_iovecs).unwrap();
+            prop_assert!(n > 0, "write made no progress");
+        }
+        prop_assert_eq!(writer.out, legacy);
+    }
+
+    /// Pooled streaming decode recovers every message intact from the
+    /// legacy byte stream, however the reads are chunked (partial-frame
+    /// interleavings included), leaving neither residue nor corruption.
+    #[test]
+    fn pooled_decode_matches_legacy_codec(
+        msgs in proptest::collection::vec(arb_wire_message(), 0..8),
+        chunk in 1usize..300,
+        pool_chunk in 64usize..2048,
+    ) {
+        let legacy = legacy_framing(&msgs);
+        let mut decoder = StreamDecoder::new(Arc::new(BufferPool::new(pool_chunk, 4)));
+        let mut decoded = Vec::new();
+        for piece in legacy.chunks(chunk) {
+            decoder.feed(piece);
+            while let Some(msg) = decoder.next_frame() {
+                decoded.push(msg);
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+        prop_assert!(!decoder.is_corrupt());
+        prop_assert!(!decoder.has_partial(), "bytes left after whole frames");
+    }
+
+    /// Full-duplex closure: vectored-encode under short writes, then
+    /// pooled-decode under partial reads, returns the original messages —
+    /// the two zero-copy halves agree end to end.
+    #[test]
+    fn zero_copy_roundtrip_under_interleavings(
+        msgs in proptest::collection::vec(arb_wire_message(), 0..8),
+        cap in 1usize..100,
+        chunk in 1usize..100,
+    ) {
+        let mut batch = FrameBatch::new();
+        for msg in &msgs {
+            batch.stage(msg).unwrap();
+        }
+        let mut writer = ShortWriter { out: Vec::new(), cap };
+        while !batch.is_empty() {
+            batch.write_some(&mut writer, 4096, 8).unwrap();
+        }
+        let mut decoder = StreamDecoder::new(Arc::new(BufferPool::new(256, 4)));
+        let mut decoded = Vec::new();
+        for piece in writer.out.chunks(chunk) {
+            decoder.feed(piece);
+            while let Some(msg) = decoder.next_frame() {
+                decoded.push(msg);
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// The borrow-on-decode path agrees with the copying decode on every
+    /// well-formed body (and on its payload bytes exactly).
+    #[test]
+    fn decode_shared_matches_decode(msg in arb_wire_message()) {
+        let mut framed = bytes::BytesMut::new();
+        msg.encode_framed_into(&mut framed).unwrap();
+        let frozen = framed.freeze();
+        let body = frozen.slice(4..);
+        let copied = WireMessage::decode(&body).unwrap();
+        let shared = WireMessage::decode_shared(&body).unwrap();
+        prop_assert_eq!(&copied, &shared);
+        prop_assert_eq!(&shared, &msg);
     }
 }

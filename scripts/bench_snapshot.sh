@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Hot-path + ML-kernel + dispatch-batching + self-healing + SLO-controller
 # + reactor-scale + fleet performance snapshot: runs the bench_snapshot
-# binary (release) and emits BENCH_PR9.json at the workspace root (codec
-# kernels, ML/vision kernels vs their scalar oracles, encode-cache
+# binary (release) and emits BENCH_PR10.json at the workspace root (codec
+# kernels, the zero-copy wire cell — single-connection loopback MB/s and
+# allocations/frame for the legacy contiguous codec vs the pooled-decode +
+# vectored-encode data plane, under a counting global allocator —
+# ML/vision kernels vs their scalar oracles, encode-cache
 # fan-out, inproc roundtrips, the multi-core reactor scaling sweep
 # (workers=1 vs workers=cores with steal/wake counters; skip marker on
 # single-core runners), the service-dispatch saturation sweep,
@@ -17,7 +20,7 @@
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out PATH]
 #   --quick    shrink iteration counts (CI smoke; numbers are noisier)
-#   --out PATH write the JSON somewhere else (default BENCH_PR9.json)
+#   --out PATH write the JSON somewhere else (default BENCH_PR10.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

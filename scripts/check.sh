@@ -73,6 +73,55 @@ gate_with_retry() {
 }
 gate_with_retry
 
+echo "==> wire data-plane gates (vs committed BENCH_PR10.json)"
+# Two probes on the zero-copy wire cell. Throughput follows the codec-gate
+# pattern: single-connection loopback MB/s must stay within 20% of the
+# committed snapshot, with one re-measure for cold starts. Allocations are
+# gated two ways: an absolute ceiling (4 allocations/frame — the zero-copy
+# receive path allocates only the channel string plus amortised chunk
+# rotations) and a relative bar (at most half of the legacy arm measured
+# in the SAME run, the PR 10 acceptance criterion — allocation counts are
+# deterministic, so this never flakes on runner speed).
+wire_gate() { # wire_gate SNAPSHOT -> 0 if throughput and allocation bars hold
+    local snapshot="$1"
+    floor=$(extract BENCH_PR10.json wire zero_copy_mb_s)
+    now=$(extract "$snapshot" wire zero_copy_mb_s)
+    allocs=$(extract "$snapshot" wire allocs_per_frame)
+    legacy_allocs=$(extract "$snapshot" wire legacy_allocs_per_frame)
+    copies=$(extract "$snapshot" wire rx_payload_copies)
+    awk -v floor="$floor" -v now="$now" -v allocs="$allocs" \
+        -v legacy="$legacy_allocs" -v copies="$copies" 'BEGIN {
+        if (floor == "" || now == "" || allocs == "" || legacy == "" || copies == "") {
+            printf "FAIL: wire cell missing from snapshot or baseline\n"
+            exit 1
+        }
+        limit = floor * 0.8
+        if (now + 0 < limit) {
+            printf "FAIL: wire throughput regressed: %.1f MB/s < 80%% of committed %.1f MB/s\n", now, floor
+            exit 1
+        }
+        if (allocs + 0 > 4.0) {
+            printf "FAIL: zero-copy path allocates %.2f/frame, over the absolute ceiling of 4\n", allocs
+            exit 1
+        }
+        if (allocs + 0 > legacy * 0.5) {
+            printf "FAIL: allocations/frame %.2f not <= half of legacy %.2f\n", allocs, legacy
+            exit 1
+        }
+        if (copies + 0 != 0) {
+            printf "FAIL: receive path made %s payload copies; zero-copy invariant broken\n", copies
+            exit 1
+        }
+        printf "ok: wire %.1f MB/s (floor %.1f), %.2f allocs/frame (legacy %.2f), 0 payload copies\n", now, limit, allocs, legacy
+    }' || return 1
+}
+if ! wire_gate target/bench_smoke.json; then
+    echo "wire gate missed; re-measuring once to rule out a cold start"
+    cargo run --release -q -p videopipe-bench --bin bench_snapshot -- \
+        --quick --out target/bench_smoke.json
+    wire_gate target/bench_smoke.json
+fi
+
 echo "==> failover MTTR ceiling (vs committed BENCH_PR4.json, 20% slack)"
 # Lower is better here, so the gate is inverted: fail when the measured
 # recovery time exceeds 120% of the committed baseline. The MTTR cell is

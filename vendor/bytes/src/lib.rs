@@ -5,9 +5,16 @@
 //! [`BytesMut`] (growable buffer that freezes into `Bytes`), and the
 //! [`Buf`]/[`BufMut`] cursor traits with big-endian accessors.
 //!
-//! Everything is safe Rust; `Bytes` shares one `Arc<[u8]>` (or a `&'static`
-//! slice) and clones/slices are O(1) reference bumps, which preserves the
-//! zero-copy semantics the runtime relies on.
+//! Everything is safe Rust; `Bytes` shares one `Arc<Vec<u8>>` (or a
+//! `&'static` slice) and clones/slices are O(1) reference bumps, which
+//! preserves the zero-copy semantics the runtime relies on. Backing the
+//! shared repr with `Arc<Vec<u8>>` (not `Arc<[u8]>`) matters: promoting a
+//! `Vec`/`BytesMut` into `Bytes` *moves* the allocation behind the `Arc`
+//! instead of copying it, so `BytesMut::freeze` is O(1) — the property the
+//! zero-copy network data plane is built on. The spare capacity of a frozen
+//! buffer rides along inside the `Arc` and is recovered intact by
+//! [`Bytes::try_into_mut`] once every other reference drops, which is how
+//! the net crate's buffer pool reclaims read chunks.
 
 #![forbid(unsafe_code)]
 
@@ -18,7 +25,7 @@ use std::sync::Arc;
 
 #[derive(Clone)]
 enum Repr {
-    Shared(Arc<[u8]>),
+    Shared(Arc<Vec<u8>>),
     Static(&'static [u8]),
 }
 
@@ -106,6 +113,44 @@ impl Bytes {
         self.start += at;
         head
     }
+
+    /// Recovers the unique backing buffer as a [`BytesMut`], or returns
+    /// `self` unchanged when other references are still alive (or the
+    /// view is static). Matches `bytes::Bytes::try_into_mut`.
+    ///
+    /// The recovered buffer is the *whole* original allocation (full
+    /// length and spare capacity), regardless of how this view was
+    /// sliced — callers reusing it should `clear()` first. This is the
+    /// primitive behind pool reclamation: a pooled read chunk frozen
+    /// into frames becomes reusable the moment the last decoded payload
+    /// drops its reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the storage is shared or static.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.repr {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(vec) => Ok(BytesMut { vec }),
+                Err(arc) => Err(Bytes {
+                    repr: Repr::Shared(arc),
+                    start: self.start,
+                    end: self.end,
+                }),
+            },
+            Repr::Static(_) => Err(self),
+        }
+    }
+
+    /// Whether this handle is the only reference to its backing storage
+    /// (always `false` for static views). A `true` answer from a sole
+    /// owner is stable; use [`Bytes::try_into_mut`] to actually reclaim.
+    pub fn is_unique(&self) -> bool {
+        match &self.repr {
+            Repr::Shared(arc) => Arc::strong_count(arc) == 1,
+            Repr::Static(_) => false,
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -131,7 +176,9 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            repr: Repr::Shared(Arc::from(v)),
+            // Arc::new moves the Vec — promoting owned bytes to shared
+            // bytes never copies the data.
+            repr: Repr::Shared(Arc::new(v)),
             start: 0,
             end,
         }
@@ -293,7 +340,9 @@ impl BytesMut {
         self.vec.resize(new_len, value);
     }
 
-    /// Converts into an immutable, shareable [`Bytes`].
+    /// Converts into an immutable, shareable [`Bytes`] in O(1): the
+    /// allocation (including spare capacity) moves behind an `Arc`
+    /// without copying a byte.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
     }
@@ -584,5 +633,63 @@ mod tests {
         let taken = m.split();
         assert_eq!(&taken[..], b"abc");
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"payload");
+        let data_ptr = m.as_ref().as_ptr();
+        let frozen = m.freeze();
+        assert_eq!(
+            frozen.as_ref().as_ptr(),
+            data_ptr,
+            "freeze must move the allocation, not copy it"
+        );
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_storage() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert!(!b.is_unique());
+        let b = b
+            .try_into_mut()
+            .expect_err("shared storage must not unwrap");
+        drop(c);
+        assert!(b.is_unique());
+        let ptr = b.as_ref().as_ptr();
+        let mut m = b.try_into_mut().expect("sole owner reclaims");
+        assert_eq!(
+            m.as_ref().as_ptr(),
+            ptr,
+            "reclaim must reuse the allocation"
+        );
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn try_into_mut_rejects_static() {
+        let b = Bytes::from_static(b"static");
+        assert!(!b.is_unique());
+        assert!(b.try_into_mut().is_err());
+    }
+
+    #[test]
+    fn sliced_views_share_and_reclaim_whole_allocation() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_slice(b"abcdef");
+        let frozen = m.freeze();
+        let head = frozen.slice(..2);
+        let tail = frozen.slice(4..);
+        drop(frozen);
+        assert_eq!(&head[..], b"ab");
+        assert_eq!(&tail[..], b"ef");
+        drop(tail);
+        // The last view reclaims the full 32-byte allocation.
+        let reclaimed = head.try_into_mut().expect("last reference reclaims");
+        assert_eq!(reclaimed.len(), 6);
+        assert!(reclaimed.capacity() >= 32);
     }
 }
